@@ -1,0 +1,81 @@
+"""Extension — classic blocking vs LSH-based blocking (Related Work, §2).
+
+Section 2 of the paper dismisses the two classic blocking methods — sorted
+neighborhood [12] and canopy clustering [6] — because they "do not provide
+any guarantees for identifying record pairs that are similar nor scale
+well to large volumes of records".  This benchmark makes that claim
+quantitative on the same PL problem: both classics are run with the same
+compact-Hamming verification as cBV-HB, so the comparison isolates the
+*blocking* strategy; a second, sort-key-hostile problem (typos in the
+first attribute) shows the failure mode LSH is immune to.
+"""
+
+from common import GENERATORS, problem, scaled
+
+from repro.baselines.canopy import CanopyLinker
+from repro.baselines.sorted_neighborhood import SortedNeighborhoodLinker
+from repro.core.linker import CompactHammingLinker
+from repro.data import build_linkage_problem
+from repro.data.perturb import PerturbationScheme
+from repro.evaluation.metrics import evaluate_linkage
+from repro.evaluation.reporting import banner, format_table
+
+
+def _methods(seed=5):
+    return {
+        "cBV-HB": CompactHammingLinker.record_level(threshold=4, k=30, seed=seed),
+        "SortedNbhd (w=10)": SortedNeighborhoodLinker(
+            threshold=4, window=10, passes=1, seed=seed
+        ),
+        "SortedNbhd (w=10, 3 passes)": SortedNeighborhoodLinker(
+            threshold=4, window=10, passes=3, seed=seed
+        ),
+        "Canopy (0.7/0.3)": CanopyLinker(threshold=4, loose=0.7, tight=0.3, seed=seed),
+    }
+
+
+def _evaluate(linker, prob):
+    result = linker.link(prob.dataset_a, prob.dataset_b)
+    quality = evaluate_linkage(
+        result.matches, prob.true_matches, result.n_candidates, prob.comparison_space
+    )
+    return quality, result
+
+
+def test_ext_classic_blocking(benchmark, report):
+    easy = problem("ncvr", "pl")
+    key_hostile = build_linkage_problem(
+        GENERATORS["ncvr"](),
+        scaled(1000),
+        PerturbationScheme(name="first-attr", ops_per_attribute={0: 1}),
+        seed=37,
+    )
+    benchmark.pedantic(
+        lambda: _evaluate(_methods()["cBV-HB"], key_hostile), rounds=1, iterations=1
+    )
+    rows = []
+    pc = {}
+    for label, prob in (("PL", easy), ("first-attr typos", key_hostile)):
+        for name, linker in _methods().items():
+            quality, result = _evaluate(linker, prob)
+            pc[(label, name)] = quality.pairs_completeness
+            rows.append(
+                [
+                    label,
+                    name,
+                    round(quality.pairs_completeness, 3),
+                    round(quality.reduction_ratio, 4),
+                    round(result.total_time, 2),
+                ]
+            )
+    report(
+        banner("Extension §2 — classic blocking vs LSH (NCVR)")
+        + "\n"
+        + format_table(["problem", "method", "PC", "RR", "time (s)"], rows)
+        + "\nthe classics have no Equation (2): when the sorting key itself is"
+        "\ncorrupted, single-pass sorted neighborhood collapses while cBV-HB's"
+        "\nrecall guarantee is perturbation-position-blind."
+    )
+    hostile = "first-attr typos"
+    assert pc[(hostile, "cBV-HB")] >= 0.93
+    assert pc[(hostile, "SortedNbhd (w=10)")] < pc[(hostile, "cBV-HB")]

@@ -1,0 +1,128 @@
+"""Extension — towards a Jaro-Winkler embedding (paper §7).
+
+Section 7's first future-work item is "a distance-preserving and
+lightweight embedding method for the Jaro-Winkler metric, which was
+specifically developed for ... names, surnames, or addresses".  The
+groundwork that requires is a *threshold-calibration* study: how cleanly
+does each candidate metric separate matched from non-matched attribute
+values, and how stable is the threshold across attributes?
+
+This benchmark measures, on perturbed name pairs, the separation between
+the matched and non-matched score distributions for (a) the compact
+Hamming distance, (b) Jaro-Winkler distance, and (c) Jaccard bigram
+distance — reporting each metric's best single threshold and the accuracy
+it achieves.  The Hamming threshold is *integral and type-derived*
+(<= 4 bits per substitution); JW needs a data-dependent cut-off, which is
+exactly the calibration burden the planned embedding would remove.
+"""
+
+import numpy as np
+from common import GENERATORS, scaled
+
+from repro.core.cvector import CVectorEncoder
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.data.perturb import Operation, apply_operation
+from repro.evaluation.reporting import banner, format_table
+from repro.hamming.distance import jaccard_distance_sets
+from repro.text.jaro import jaro_winkler_distance
+
+
+def _name_pairs(n, seed):
+    """(matched pairs, non-matched pairs) of first names."""
+    dataset = GENERATORS["ncvr"]().generate(n, seed=seed)
+    names = dataset.column("FirstName")
+    rng = np.random.default_rng(seed)
+    matched = []
+    for name in names:
+        op = (Operation.SUBSTITUTE, Operation.INSERT, Operation.DELETE)[
+            int(rng.integers(0, 3))
+        ]
+        matched.append((name, apply_operation(name, op, EXPERIMENT_SCHEME.alphabet, rng)))
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    unmatched = [
+        (a, b) for a, b in zip(names, shuffled) if a != b
+    ]
+    return matched, unmatched
+
+
+def _best_threshold(scores_m, scores_u):
+    """The single cut-off maximising classification accuracy."""
+    candidates = np.unique(np.concatenate([scores_m, scores_u]))
+    best_acc, best_thr = 0.0, 0.0
+    for thr in candidates:
+        acc = (
+            (scores_m <= thr).sum() + (scores_u > thr).sum()
+        ) / (len(scores_m) + len(scores_u))
+        if acc > best_acc:
+            best_acc, best_thr = acc, float(thr)
+    return best_thr, best_acc
+
+
+def test_ext_jaro_winkler_threshold_calibration(benchmark, report):
+    matched, unmatched = _name_pairs(scaled(1500), seed=29)
+    encoder = CVectorEncoder.calibrated(
+        [a for a, __ in matched], scheme=EXPERIMENT_SCHEME, seed=29
+    )
+
+    def hamming_scores(pairs):
+        return np.asarray(
+            [encoder.encode(a).hamming(encoder.encode(b)) for a, b in pairs],
+            dtype=float,
+        )
+
+    def jw_scores(pairs):
+        return np.asarray([jaro_winkler_distance(a, b) for a, b in pairs])
+
+    def jaccard_scores(pairs):
+        return np.asarray(
+            [
+                jaccard_distance_sets(
+                    EXPERIMENT_SCHEME.index_set(a), EXPERIMENT_SCHEME.index_set(b)
+                )
+                for a, b in pairs
+            ]
+        )
+
+    benchmark.pedantic(lambda: hamming_scores(matched[:200]), rounds=1, iterations=1)
+    rows = []
+    accuracy = {}
+    for label, scorer in (
+        ("compact Hamming", hamming_scores),
+        ("Jaro-Winkler", jw_scores),
+        ("Jaccard (bigrams)", jaccard_scores),
+    ):
+        scores_m = scorer(matched)
+        scores_u = scorer(unmatched)
+        threshold, acc = _best_threshold(scores_m, scores_u)
+        accuracy[label] = acc
+        rows.append(
+            [
+                label,
+                round(float(scores_m.mean()), 3),
+                round(float(scores_u.mean()), 3),
+                round(threshold, 3),
+                round(acc, 4),
+            ]
+        )
+    report(
+        banner("Extension §7 — threshold calibration across metrics (FirstName)")
+        + "\n"
+        + format_table(
+            ["metric", "mean d (match)", "mean d (non-match)", "best threshold", "accuracy"],
+            rows,
+        )
+        + "\nthe compact Hamming threshold is type-derived (<= 4 per edit) and"
+        "\nneeds no calibration; JW separates well but its cut-off is data-"
+        "\ndependent — the calibration burden a JW embedding would remove."
+    )
+    # All three metrics separate matches from non-matches well.
+    for label, acc in accuracy.items():
+        assert acc >= 0.9, label
+    # The type-derived threshold 4 performs near the tuned Hamming optimum.
+    scores_m = hamming_scores(matched)
+    scores_u = hamming_scores(unmatched)
+    acc_at_4 = ((scores_m <= 4).sum() + (scores_u > 4).sum()) / (
+        len(scores_m) + len(scores_u)
+    )
+    assert acc_at_4 >= accuracy["compact Hamming"] - 0.05

@@ -1,0 +1,93 @@
+"""Extension — missing and non-standardised values (paper §7).
+
+The paper's future work plans to "extend the experimental part by
+comparing the effectiveness of our method with the baselines in
+identifying records with missing or non-standardized values", noting that
+"the initial results indicate that by applying PH, the gain in accuracy
+compared to the baselines is larger".
+
+This benchmark runs that experiment: PL typos are combined with (a) a
+missing-value corruption that blanks Town/Address, and (b) a word-order
+scramble on Address.  Rule-aware cBV-HB blocks only on the attributes its
+rule constrains, so blanking *unconstrained* attributes barely moves it,
+while the record-level baselines lose whole-record similarity.
+"""
+
+from common import GENERATORS, NCVR_NAMES, scaled
+
+from repro.baselines.harra import HarraLinker
+from repro.core.linker import CompactHammingLinker
+from repro.data import build_linkage_problem, scheme_pl
+from repro.data.quality import CompositeScheme, MissingValueScheme, WordScrambleScheme
+from repro.evaluation.metrics import evaluate_linkage
+from repro.evaluation.reporting import banner, format_table
+from repro.rules.parser import parse_rule
+
+RULE = parse_rule("(FirstName<=4) & (LastName<=4)")
+K = {"FirstName": 5, "LastName": 5}
+
+
+def _problem(corruption, seed):
+    return build_linkage_problem(
+        GENERATORS["ncvr"](), scaled(1500), corruption, seed=seed
+    )
+
+
+def _linkers(seed):
+    return {
+        "cBV-HB (rule-aware)": CompactHammingLinker.rule_aware(
+            RULE, k=K, attribute_names=NCVR_NAMES, seed=seed
+        ),
+        "cBV-HB (record)": CompactHammingLinker.record_level(
+            threshold=8, k=30, seed=seed
+        ),
+        "HARRA": HarraLinker(threshold=0.35, n_tables=30, seed=seed),
+    }
+
+
+def test_ext_missing_and_nonstandard_values(benchmark, report):
+    corruptions = {
+        "PL only": scheme_pl(),
+        "PL + missing Town/Address": CompositeScheme(
+            (scheme_pl(), MissingValueScheme(0.5, protect=(0, 1)))
+        ),
+        "PL + scrambled Address": CompositeScheme(
+            (scheme_pl(), WordScrambleScheme(0.8))
+        ),
+    }
+    problems = {
+        label: _problem(corruption, seed=23 + i)
+        for i, (label, corruption) in enumerate(corruptions.items())
+    }
+    benchmark.pedantic(
+        lambda: _linkers(5)["cBV-HB (rule-aware)"].link(
+            problems["PL only"].dataset_a, problems["PL only"].dataset_b
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    pc = {}
+    for label, prob in problems.items():
+        for method, linker in _linkers(5).items():
+            result = linker.link(prob.dataset_a, prob.dataset_b)
+            quality = evaluate_linkage(
+                result.matches, prob.true_matches, result.n_candidates,
+                prob.comparison_space,
+            )
+            pc[(label, method)] = quality.pairs_completeness
+            rows.append([label, method, round(quality.pairs_completeness, 3)])
+    report(
+        banner("Extension §7 — missing / non-standardised values (NCVR)")
+        + "\n"
+        + format_table(["corruption", "method", "PC"], rows)
+        + "\nshape: the rule-aware blocker ignores the corrupted, unconstrained"
+        "\nattributes entirely — its PC is stable while whole-record methods drop."
+    )
+    for label in corruptions:
+        # The rule-aware pipeline stays within 5 points of its clean PC.
+        assert pc[(label, "cBV-HB (rule-aware)")] >= pc[("PL only", "cBV-HB (rule-aware)")] - 0.05
+    # And under missing values it beats the whole-record representations.
+    missing = "PL + missing Town/Address"
+    assert pc[(missing, "cBV-HB (rule-aware)")] >= pc[(missing, "HARRA")] - 0.02
+    assert pc[(missing, "cBV-HB (rule-aware)")] >= pc[(missing, "cBV-HB (record)")] - 0.02

@@ -1,0 +1,42 @@
+"""Figure 12(a) — Reduction Ratio together with PC (scheme PL).
+
+Plots the two measures side by side so a method is only "efficient" when
+both are high.  Expected shape: RR high for every method except SM-EB
+(blocks overwhelmed by non-matching pairs); the reduction keeps up with
+accuracy only for cBV-HB and BfH, with cBV-HB the better PC of the two.
+"""
+
+from common import ALL_METHODS, METHOD_LABELS, run_method
+
+from repro.evaluation.reporting import banner, format_table
+
+
+def test_fig12a_rr_and_pc(benchmark, report):
+    benchmark.pedantic(
+        lambda: run_method("cbv", "ncvr", "pl"), rounds=1, iterations=1
+    )
+    rows = []
+    rr = {}
+    pc = {}
+    for method in ALL_METHODS:
+        quality, __, __ = run_method(method, "ncvr", "pl")
+        rr[method] = quality.reduction_ratio
+        pc[method] = quality.pairs_completeness
+        rows.append(
+            [
+                METHOD_LABELS[method],
+                round(quality.reduction_ratio, 4),
+                round(quality.pairs_completeness, 3),
+            ]
+        )
+    report(
+        banner("Figure 12(a) — RR together with PC (NCVR, PL)")
+        + "\n"
+        + format_table(["method", "RR", "PC"], rows)
+        + "\npaper shape: RR high for all but SM-EB; only cBV-HB and BfH keep"
+        "\nhigh RR and high PC simultaneously, cBV-HB ahead on PC."
+    )
+    assert rr["cbv"] >= 0.99
+    assert rr["bfh"] >= 0.99
+    assert rr["smeb"] <= min(rr["cbv"], rr["bfh"], rr["harra"]) + 1e-9
+    assert pc["cbv"] >= pc["bfh"] - 0.02  # cBV-HB at least matches BfH's PC

@@ -1,0 +1,45 @@
+"""Figure 12(b) — total linkage run time per method, PL and PH.
+
+Expected shape: cBV-HB and BfH fastest under PL; PH costs everyone more
+(more blocking groups); HARRA's early pruning keeps it quick but
+inaccurate; SM-EB slowest by a large margin.  SM-EB runs on a smaller
+slice, so comparisons use per-pair-of-records time.
+"""
+
+from common import ALL_METHODS, METHOD_LABELS, SMEB_N, run_method, scaled, BASE_N
+
+from repro.evaluation.reporting import banner, format_table
+
+
+def test_fig12b_total_runtime(benchmark, report):
+    benchmark.pedantic(
+        lambda: run_method("cbv", "ncvr", "pl"), rounds=1, iterations=1
+    )
+    rows = []
+    per_record = {}
+    for method in ALL_METHODS:
+        n = scaled(SMEB_N) if method == "smeb" else scaled(BASE_N)
+        row = [METHOD_LABELS[method], n]
+        for scheme in ("pl", "ph"):
+            __, elapsed, __ = run_method(method, "ncvr", scheme)
+            per_record[(method, scheme)] = elapsed / n
+            row.append(round(elapsed, 2))
+            row.append(round(elapsed / n * 1e3, 3))
+        rows.append(row)
+    report(
+        banner("Figure 12(b) — total run time (NCVR)")
+        + "\n"
+        + format_table(
+            ["method", "records", "PL (s)", "PL ms/rec", "PH (s)", "PH ms/rec"], rows
+        )
+        + "\npaper shape: PH costs more than PL (more blocking groups);"
+        "\nSM-EB slowest per record by a large margin."
+    )
+    # SM-EB is the slowest per record under both schemes.
+    for scheme in ("pl", "ph"):
+        others = max(
+            per_record[(m, scheme)] for m in ("cbv", "harra", "bfh")
+        )
+        assert per_record[("smeb", scheme)] > others
+    # PH (attribute-level, more groups) costs cBV-HB more than PL.
+    assert per_record[("cbv", "ph")] > per_record[("cbv", "pl")]

@@ -1,0 +1,150 @@
+"""Figure 6 — attribute-level PC and PQ: rule-aware vs. standard blocking.
+
+For the paper's rules
+
+    C1 = (f1<=4) & (f2<=4) & (f3<=8)
+    C2 = [(f1<=4) & (f2<=4)] | (f3<=8)
+    C3 = (f1<=4) & !(f2<=4)
+
+compares the rule-aware attribute-level blocker (Section 5.4) against the
+standard record-level HB **at an equal blocking-group budget** — both
+approaches get the same number of hash tables, so the comparison isolates
+how well the blocking keys reflect the rule, exactly the effect Figure 6
+plots.  Ground truth for each rule is the set of *all* record pairs whose
+embedded attribute distances satisfy the rule (computed exhaustively),
+since e.g. C3's NOT means rule-satisfying pairs are not provenance twins.
+
+Expected shape: rule-aware PC >= standard at every budget, with the
+standard approach unable to articulate C3's NOT operator at all during
+blocking; rule-aware PQ for C1 lower at large budgets (more formulated
+pairs across more groups).
+"""
+
+import numpy as np
+from common import NCVR_K, NCVR_NAMES, problem
+
+from repro.core.encoder import RecordEncoder
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.evaluation.metrics import evaluate_linkage, pairs_from_arrays
+from repro.evaluation.reporting import banner, format_table
+from repro.hamming.lsh import HammingLSH
+from repro.rules.blocking import RuleAwareBlocker
+from repro.rules.parser import parse_rule
+
+RULES = {
+    "C1": "(FirstName<=4) & (LastName<=4) & (Address<=8)",
+    "C2": "[(FirstName<=4) & (LastName<=4)] | (Address<=8)",
+    "C3": "(FirstName<=4) & !(LastName<=4)",
+}
+#: The record-level threshold a rule-blind HB must assume: the largest
+#: total distance a rule-satisfying pair can exhibit on the constrained
+#: attributes (NOT contributes nothing it can bound).
+STANDARD_THRESHOLD = {"C1": 16, "C2": 16, "C3": 4}
+BUDGETS = (5, 10, 20, 40)
+K_MAP = {"FirstName": 5, "LastName": 5, "Address": 10}
+
+
+def _setup():
+    prob = problem("ncvr", "ph")
+    rows_a = prob.dataset_a.value_rows()
+    rows_b = prob.dataset_b.value_rows()
+    encoder = RecordEncoder.calibrated(
+        rows_a[:1000], names=list(NCVR_NAMES), scheme=EXPERIMENT_SCHEME, seed=5
+    )
+    return prob, encoder, encoder.encode_dataset(rows_a), encoder.encode_dataset(rows_b)
+
+
+def _exhaustive_rule_truth(rule, encoder, matrix_a, matrix_b, chunk=200):
+    """All (a, b) pairs whose embedded distances satisfy the rule."""
+    n_a, n_b = matrix_a.n_rows, matrix_b.n_rows
+    truth = set()
+    all_b = np.arange(n_b)
+    for start in range(0, n_a, chunk):
+        rows_a = np.repeat(np.arange(start, min(start + chunk, n_a)), n_b)
+        rows_b = np.tile(all_b, len(range(start, min(start + chunk, n_a))))
+        distances = encoder.attribute_distances(matrix_a, rows_a, matrix_b, rows_b)
+        keep = np.asarray(rule.evaluate(distances))
+        truth.update(zip(rows_a[keep].tolist(), rows_b[keep].tolist()))
+    return truth
+
+
+def _run_rule_aware(rule, budget, prob, encoder, matrix_a, matrix_b, truth, seed=5):
+    blocker = RuleAwareBlocker(rule, encoder, k=K_MAP, n_tables=budget, seed=seed)
+    blocker.index(matrix_a)
+    rows_a, rows_b, __ = blocker.match(matrix_b)
+    cand_a, __ = blocker.candidate_pairs(matrix_b)
+    return evaluate_linkage(
+        pairs_from_arrays(rows_a, rows_b), truth, int(cand_a.size), prob.comparison_space
+    )
+
+
+def _run_standard(rule, threshold, budget, prob, encoder, matrix_a, matrix_b, truth, seed=5):
+    lsh = HammingLSH(n_bits=encoder.total_bits, k=20, threshold=threshold, n_tables=budget, seed=seed)
+    lsh.index(matrix_a)
+    cand_a, cand_b = lsh.candidate_pairs(matrix_b)
+    if cand_a.size:
+        distances = encoder.attribute_distances(matrix_a, cand_a, matrix_b, cand_b)
+        accepted = np.asarray(rule.evaluate(distances))
+        matched = pairs_from_arrays(cand_a[accepted], cand_b[accepted])
+    else:
+        matched = set()
+    return evaluate_linkage(matched, truth, int(cand_a.size), prob.comparison_space)
+
+
+def test_fig6_rule_aware_vs_standard(benchmark, report):
+    prob, encoder, matrix_a, matrix_b = _setup()
+    rules = {name: parse_rule(text) for name, text in RULES.items()}
+    truths = {
+        name: _exhaustive_rule_truth(rule, encoder, matrix_a, matrix_b)
+        for name, rule in rules.items()
+    }
+    benchmark.pedantic(
+        lambda: _run_rule_aware(
+            rules["C1"], 20, prob, encoder, matrix_a, matrix_b, truths["C1"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    pc = {}
+    for name, rule in rules.items():
+        for budget in BUDGETS:
+            aware = _run_rule_aware(
+                rule, budget, prob, encoder, matrix_a, matrix_b, truths[name]
+            )
+            standard = _run_standard(
+                rule, STANDARD_THRESHOLD[name], budget, prob, encoder,
+                matrix_a, matrix_b, truths[name],
+            )
+            pc[(name, budget)] = (aware.pairs_completeness, standard.pairs_completeness)
+            rows.append(
+                [
+                    name,
+                    budget,
+                    round(aware.pairs_completeness, 3),
+                    round(standard.pairs_completeness, 3),
+                    f"{aware.pairs_quality:.2e}",
+                    f"{standard.pairs_quality:.2e}",
+                ]
+            )
+    report(
+        banner("Figure 6 — rule-aware vs standard blocking (NCVR, PH, equal L budget)")
+        + "\n"
+        + format_table(
+            ["rule", "L", "PC aware", "PC standard", "PQ aware", "PQ standard"], rows
+        )
+        + "\npaper shape: largest gap at C3 (standard cannot articulate NOT);"
+        "\nOR rules likewise; pure-AND C1 is near parity at equal L here (the"
+        "\nrule-blind sampler gains free agreement bits from the unconstrained"
+        "\nTown attribute — see EXPERIMENTS.md)."
+    )
+    # The headline: rule-aware dominates wherever the rule has OR/NOT
+    # structure the record-level sampler cannot express.
+    for name in ("C2", "C3"):
+        for budget in BUDGETS:
+            aware_pc, standard_pc = pc[(name, budget)]
+            assert aware_pc > standard_pc, (name, budget)
+    # Pure AND stays close to the record-level sampler at equal budgets.
+    for budget in BUDGETS:
+        aware_pc, standard_pc = pc[("C1", budget)]
+        assert aware_pc >= standard_pc - 0.25, budget

@@ -1,0 +1,92 @@
+"""Figure 8(b) — time to convert the data sets into each method's embedding.
+
+Measures the embedding stage only, per method: HARRA's record-level bigram
+sets, cBV-HB's compact c-vectors, BfH's Bloom filters and SM-EB's
+StringMap coordinates.  Paper shape (NCVR): HARRA fastest (one vector per
+record), cBV-HB close behind, BfH slower (15 cryptographic hashes per
+bigram), SM-EB slowest by a wide margin (pivot distance computations).
+"""
+
+import time
+
+from common import NCVR_NAMES, SMEB_N, problem, scaled
+
+from repro.baselines.bloom import BloomRecordEncoder
+from repro.baselines.harra import record_bigram_set
+from repro.baselines.stringmap import StringMapEmbedder
+from repro.core.encoder import RecordEncoder
+from repro.core.qgram import QGramScheme
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.evaluation.reporting import banner, format_table
+from repro.text.alphabet import TEXT_ALPHABET
+
+
+def _rows():
+    prob = problem("ncvr", "pl")
+    return prob.dataset_a.value_rows()
+
+
+def _time_harra(rows) -> float:
+    scheme = QGramScheme(alphabet=TEXT_ALPHABET)
+    start = time.perf_counter()
+    for row in rows:
+        record_bigram_set(row, scheme)
+    return time.perf_counter() - start
+
+
+def _time_cbv(rows) -> float:
+    encoder = RecordEncoder.calibrated(
+        rows[:1000], names=list(NCVR_NAMES), scheme=EXPERIMENT_SCHEME, seed=1
+    )
+    start = time.perf_counter()
+    encoder.encode_dataset(rows)
+    return time.perf_counter() - start
+
+
+def _time_bfh(rows) -> float:
+    encoder = BloomRecordEncoder(4, names=list(NCVR_NAMES), scheme=EXPERIMENT_SCHEME)
+    start = time.perf_counter()
+    encoder.encode_dataset(rows)
+    return time.perf_counter() - start
+
+
+def _time_smeb(rows) -> tuple[float, int]:
+    subset = rows[: scaled(SMEB_N)]
+    start = time.perf_counter()
+    for att in range(4):
+        column = [row[att] for row in subset]
+        StringMapEmbedder(d=10, pivot_sample=40, seed=att).fit_transform(column)
+    elapsed = time.perf_counter() - start
+    return elapsed, len(subset)
+
+
+def test_fig8b_embedding_time(benchmark, report):
+    rows = _rows()
+    benchmark.pedantic(lambda: _time_cbv(rows), rounds=1, iterations=1)
+    t_harra = _time_harra(rows)
+    t_cbv = _time_cbv(rows)
+    t_bfh = _time_bfh(rows)
+    t_smeb, n_smeb = _time_smeb(rows)
+    per_record = {
+        "HARRA": t_harra / len(rows),
+        "cBV-HB": t_cbv / len(rows),
+        "BfH": t_bfh / len(rows),
+        "SM-EB": t_smeb / n_smeb,
+    }
+    table = format_table(
+        ["method", "records", "seconds", "us/record"],
+        [
+            ["HARRA", len(rows), round(t_harra, 3), round(per_record["HARRA"] * 1e6, 1)],
+            ["cBV-HB", len(rows), round(t_cbv, 3), round(per_record["cBV-HB"] * 1e6, 1)],
+            ["BfH", len(rows), round(t_bfh, 3), round(per_record["BfH"] * 1e6, 1)],
+            ["SM-EB", n_smeb, round(t_smeb, 3), round(per_record["SM-EB"] * 1e6, 1)],
+        ],
+    )
+    report(
+        banner("Figure 8(b) — embedding time per method (NCVR)")
+        + "\n" + table
+        + "\npaper shape: HARRA least, SM-EB largest by a wide margin."
+    )
+    # The paper's ordering on per-record cost.
+    assert per_record["SM-EB"] > per_record["BfH"]
+    assert per_record["BfH"] > per_record["HARRA"]

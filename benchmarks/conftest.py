@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Adds the benchmarks directory to the import path (so ``import common``
+works under pytest's rootdir-relative collection) and provides a helper
+fixture that prints report tables through pytest's capture, so figure
+regenerations are visible in ``pytest benchmarks/ --benchmark-only`` runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure/table regeneration through the capture barrier."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _report

@@ -1,0 +1,60 @@
+"""The paper's Section 3 workflow: Alice, Bob and Charlie.
+
+Two data custodians who cannot share raw records agree on public encoding
+parameters, embed their databases locally into compact c-vectors, and send
+only record identifiers plus bit vectors to an independent linkage unit
+(Charlie).  Charlie blocks and matches in the compact Hamming space and
+returns matched id pairs — without ever seeing a name or an address.
+
+Run:  python examples/three_party_protocol.py
+"""
+
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.protocol import DataCustodian, EncodingAgreement, LinkageUnit
+
+
+def main() -> None:
+    # The two databases (B holds perturbed copies of ~half of A's people).
+    problem = build_linkage_problem(NCVRGenerator(), 5000, scheme_pl(), seed=13)
+    alice = DataCustodian("alice", problem.dataset_a)
+    bob = DataCustodian("bob", problem.dataset_b)
+
+    # Step 1 — negotiate public parameters.  Only aggregate statistics
+    # (average bigram counts per attribute) cross the trust boundary.
+    agreement = EncodingAgreement.negotiate(
+        [alice.dataset, bob.dataset], seed=13
+    )
+    print("agreed encoding:")
+    for name, b, width in zip(
+        agreement.attribute_names, agreement.qgram_counts, agreement.widths
+    ):
+        print(f"  {name:<10} b = {b:5.2f}  ->  m_opt = {width} bits")
+    print(f"  record-level: {agreement.total_bits} bits\n")
+
+    # Step 2 — each custodian encodes locally.
+    encoded_a = alice.encode(agreement)
+    encoded_b = bob.encode(agreement)
+    print(f"alice submits {len(encoded_a)} ids + a "
+          f"{encoded_a.matrix.n_rows}x{encoded_a.matrix.n_bits}-bit matrix")
+    print(f"bob submits   {len(encoded_b)} ids + a "
+          f"{encoded_b.matrix.n_rows}x{encoded_b.matrix.n_bits}-bit matrix\n")
+
+    # Step 3 — Charlie links the embeddings (never the strings).
+    charlie = LinkageUnit(agreement, threshold=4, k=30, seed=13)
+    matched = charlie.link(encoded_a, encoded_b)
+
+    truth = {
+        (problem.dataset_a[a].record_id, problem.dataset_b[b].record_id)
+        for a, b in problem.true_matches
+    }
+    found = set(matched) & truth
+    print(f"charlie reports {len(matched)} matched id pairs")
+    print(f"pairs completeness against ground truth: {len(found) / len(truth):.3f}")
+    print("\n(charlie handled only ids and 120-bit vectors — the compact")
+    print(" representation is what makes shipping embeddings to a third")
+    print(" party cheap; see paper §7 for the secure-matching protocols")
+    print(" this structure plugs into)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs an egg-link instead and needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Baseline embedding/linkage methods the paper compares against (Section 6.1)."""
+
+from repro.baselines.bfh import BfHLinker
+from repro.baselines.canopy import CanopyLinker
+from repro.baselines.bloom import (
+    BloomFieldEncoder,
+    BloomRecordEncoder,
+    DEFAULT_BLOOM_BITS,
+    DEFAULT_BLOOM_HASHES,
+    bloom_positions,
+)
+from repro.baselines.harra import HarraLinker, record_bigram_set
+from repro.baselines.minhash import MinHasher, MinHashLSH
+from repro.baselines.pstable import (
+    DEFAULT_BUCKET_WIDTH,
+    EuclideanLSH,
+    collision_probability,
+    euclidean_lsh_parameters,
+)
+from repro.baselines.smeb import SMEBLinker
+from repro.baselines.sorted_neighborhood import (
+    SortedNeighborhoodLinker,
+    default_sorting_key,
+)
+from repro.baselines.stringmap import StringMapEmbedder
+
+__all__ = [
+    "BfHLinker",
+    "CanopyLinker",
+    "SortedNeighborhoodLinker",
+    "default_sorting_key",
+    "BloomFieldEncoder",
+    "BloomRecordEncoder",
+    "DEFAULT_BLOOM_BITS",
+    "DEFAULT_BLOOM_HASHES",
+    "DEFAULT_BUCKET_WIDTH",
+    "EuclideanLSH",
+    "HarraLinker",
+    "MinHashLSH",
+    "MinHasher",
+    "SMEBLinker",
+    "StringMapEmbedder",
+    "bloom_positions",
+    "collision_probability",
+    "euclidean_lsh_parameters",
+    "record_bigram_set",
+]

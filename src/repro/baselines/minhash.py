@@ -1,0 +1,135 @@
+"""MinHash LSH over q-gram sets (the Jaccard space J).
+
+The HARRA baseline [18] blocks records by Min-Hashing their bigram sets:
+each base hash function applies a random permutation of the q-gram vector
+indexes and returns the index of the minimum non-zero element; ``K`` base
+hashes form a band (blocking key) and ``L`` bands form the blocking
+groups.
+
+Random permutations are realised permutation-free with universal hashes
+``g(x) = ((a*x + b) mod P) mod U`` — the standard MinHash construction:
+``min_{x in U_s} g(x)`` is distributed like the first set element under a
+random permutation, so ``Pr[minhash(A) = minhash(B)] ≈ Jaccard(A, B)``.
+
+The signature computation is vectorised with ``numpy.minimum.reduceat``
+over the concatenated element arrays of all records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.cvector import HASH_PRIME
+
+
+class MinHasher:
+    """``n_hashes`` independent MinHash functions over integer sets.
+
+    Parameters
+    ----------
+    n_hashes:
+        Number of independent hash functions.
+    prefix_fraction:
+        Emulate HARRA's truncated-permutation implementation: only hash
+        values inside the first ``prefix_fraction`` of the range count
+        ("we mostly end up with an index holding 0, which implies that
+        more elements of each permutation should be used" — Section 6.1).
+        When a set has no element in the examined prefix, the slot takes
+        the sentinel value ``p``, so similar records can land in
+        different buckets — the recall loss the paper reports for HARRA.
+        ``None`` (default) is the exact, permutation-free MinHash.
+    """
+
+    def __init__(
+        self,
+        n_hashes: int,
+        seed: int | None = None,
+        p: int = HASH_PRIME,
+        prefix_fraction: float | None = None,
+    ):
+        if n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
+        if prefix_fraction is not None and not 0.0 < prefix_fraction <= 1.0:
+            raise ValueError(f"prefix_fraction must be in (0, 1], got {prefix_fraction}")
+        rng = np.random.default_rng(seed)
+        self.n_hashes = n_hashes
+        self.p = p
+        self.prefix_fraction = prefix_fraction
+        self._cutoff = p if prefix_fraction is None else int(p * prefix_fraction)
+        self._a = rng.integers(1, p, size=n_hashes, dtype=np.int64)
+        self._b = rng.integers(1, p, size=n_hashes, dtype=np.int64)
+
+    def signature(self, elements: Sequence[int]) -> np.ndarray:
+        """The MinHash signature of one set (shape ``(n_hashes,)``)."""
+        if not elements:
+            return np.full(self.n_hashes, self.p, dtype=np.int64)
+        xs = np.asarray(sorted(elements), dtype=np.int64)
+        values = (self._a[:, None] * xs[None, :] + self._b[:, None]) % self.p
+        values = np.where(values < self._cutoff, values, self.p)
+        return values.min(axis=1)
+
+    def signatures(self, sets: Sequence[frozenset[int]]) -> np.ndarray:
+        """Signature matrix for many sets (shape ``(n_sets, n_hashes)``).
+
+        Empty sets get the sentinel signature ``p`` in every slot, which
+        never collides with a non-empty set's minimum (< p).
+        """
+        if not sets:
+            raise ValueError("sets must be non-empty")
+        lengths = np.asarray([len(s) for s in sets], dtype=np.int64)
+        output = np.full((len(sets), self.n_hashes), self.p, dtype=np.int64)
+        non_empty = np.flatnonzero(lengths)
+        if non_empty.size == 0:
+            return output
+        elements = np.concatenate(
+            [np.fromiter(sets[int(i)], dtype=np.int64, count=lengths[i]) for i in non_empty]
+        )
+        offsets = np.zeros(non_empty.size, dtype=np.int64)
+        np.cumsum(lengths[non_empty][:-1], out=offsets[1:])
+        for h in range(self.n_hashes):
+            values = (self._a[h] * elements + self._b[h]) % self.p
+            values = np.where(values < self._cutoff, values, self.p)
+            output[non_empty, h] = np.minimum.reduceat(values, offsets)
+        return output
+
+
+class MinHashLSH:
+    """Banded MinHash blocking: ``L`` bands of ``K`` rows each.
+
+    A pair is formulated when all ``K`` signature slots of at least one
+    band agree — collision probability ``1 - (1 - s^K)^L`` for Jaccard
+    similarity ``s``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        n_tables: int,
+        seed: int | None = None,
+        prefix_fraction: float | None = None,
+    ):
+        if k < 1 or n_tables < 1:
+            raise ValueError(f"K and L must be >= 1, got K={k}, L={n_tables}")
+        self.k = k
+        self.n_tables = n_tables
+        self.hasher = MinHasher(k * n_tables, seed=seed, prefix_fraction=prefix_fraction)
+
+    def band_keys(self, sets: Sequence[frozenset[int]]) -> list[np.ndarray]:
+        """One key array per band; keys are hashable row tuples packed as bytes."""
+        signatures = self.hasher.signatures(sets)
+        keys: list[np.ndarray] = []
+        for band in range(self.n_tables):
+            chunk = np.ascontiguousarray(
+                signatures[:, band * self.k : (band + 1) * self.k]
+            )
+            keys.append(chunk.view([("", chunk.dtype)] * self.k).ravel())
+        return keys
+
+
+def collision_probability(jaccard_similarity: float, k: int, n_tables: int) -> float:
+    """``1 - (1 - s^K)^L``: the banded MinHash collision probability."""
+    if not 0.0 <= jaccard_similarity <= 1.0:
+        raise ValueError(f"similarity must be in [0, 1], got {jaccard_similarity}")
+    return 1.0 - (1.0 - jaccard_similarity**k) ** n_tables

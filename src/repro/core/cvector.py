@@ -1,0 +1,158 @@
+"""Compact q-gram vectors — c-vectors (Section 5.2).
+
+A c-vector re-embeds a string from the full q-gram space ``H`` (width
+``|S|^q``) into a compact space ``H-hat`` of ``m_opt`` positions by hashing
+every index in ``U_s`` with a randomly chosen pairwise-independent hash
+
+    g(x) = ((a*x + b) mod P) mod m,      P = 2^31 - 1,  a, b in (0, P)
+
+(one ``g`` per attribute, shared by all strings of that attribute so
+distances remain comparable).  ``m_opt`` comes from Theorem 1 — see
+:mod:`repro.core.sizing`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.qgram import QGramScheme
+from repro.core.sizing import DEFAULT_CONFIDENCE_R, DEFAULT_RHO, optimal_cvector_size
+from repro.hamming.bitmatrix import BitMatrix, scatter_bits
+from repro.hamming.bitvector import BitVector
+
+#: The large prime of the paper's hash family: 2^31 - 1 (a Mersenne prime).
+HASH_PRIME = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class UniversalHash:
+    """A pairwise-independent hash ``g(x) = ((a*x + b) mod P) mod m``."""
+
+    a: int
+    b: int
+    m: int
+    p: int = HASH_PRIME
+
+    def __post_init__(self) -> None:
+        if not 0 < self.a < self.p:
+            raise ValueError(f"a must be in (0, P), got {self.a}")
+        if not 0 < self.b < self.p:
+            raise ValueError(f"b must be in (0, P), got {self.b}")
+        if self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+
+    def __call__(self, x: int) -> int:
+        return ((self.a * x + self.b) % self.p) % self.m
+
+    def apply(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over an integer array."""
+        xs = np.asarray(xs, dtype=np.int64)
+        return ((self.a * xs + self.b) % self.p) % self.m
+
+    @classmethod
+    def random(cls, m: int, rng: np.random.Generator, p: int = HASH_PRIME) -> "UniversalHash":
+        """Draw ``a, b`` uniformly from ``(0, P)``."""
+        a = int(rng.integers(1, p))
+        b = int(rng.integers(1, p))
+        return cls(a=a, b=b, m=m, p=p)
+
+
+class CVectorEncoder:
+    """Attribute-level encoder from strings to c-vectors in ``{0,1}^m``.
+
+    Parameters
+    ----------
+    m:
+        Width of the compact space for this attribute (``m_opt^(f_i)``).
+    scheme:
+        The q-gram extraction scheme (q, alphabet, padding).
+    hash_fn:
+        The attribute's universal hash ``g``; drawn randomly when omitted.
+    seed:
+        Seed for drawing ``g`` when ``hash_fn`` is omitted.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        scheme: QGramScheme | None = None,
+        hash_fn: UniversalHash | None = None,
+        seed: int | None = None,
+    ):
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.m = m
+        self.scheme = scheme or QGramScheme()
+        if hash_fn is None:
+            hash_fn = UniversalHash.random(m, np.random.default_rng(seed))
+        elif hash_fn.m != m:
+            raise ValueError(f"hash modulus {hash_fn.m} differs from m={m}")
+        self.hash_fn = hash_fn
+
+    # -- per-string API -------------------------------------------------------
+
+    def compact_indices(self, value: str) -> frozenset[int]:
+        """The set of compact positions ``{g(x) : x in U_s}`` for ``value``."""
+        u_s = self.scheme.index_set(value)
+        return frozenset(self.hash_fn(x) for x in u_s)
+
+    def encode(self, value: str) -> BitVector:
+        """The c-vector of ``value`` (Figure 4 of the paper)."""
+        return BitVector.from_indices(self.m, self.compact_indices(value))
+
+    def collisions(self, value: str) -> int:
+        """Observed collision count for ``value``: ``|U_s| - |g(U_s)|``."""
+        u_s = self.scheme.index_set(value)
+        return len(u_s) - len({self.hash_fn(x) for x in u_s})
+
+    # -- dataset API --------------------------------------------------------------
+
+    def encode_all(self, values: Sequence[str]) -> BitMatrix:
+        """Encode a whole attribute column into one packed :class:`BitMatrix`."""
+        if not values:
+            raise ValueError("values must be non-empty")
+        rows: list[int] = []
+        originals: list[int] = []
+        for i, value in enumerate(values):
+            u_s = self.scheme.index_set(value)
+            rows.extend([i] * len(u_s))
+            originals.extend(u_s)
+        if not originals:
+            return BitMatrix.zeros(len(values), self.m)
+        bits = self.hash_fn.apply(np.asarray(originals, dtype=np.int64))
+        return scatter_bits(len(values), self.m, np.asarray(rows, dtype=np.int64), bits)
+
+    # -- calibration ---------------------------------------------------------------
+
+    @classmethod
+    def calibrated(
+        cls,
+        sample: Iterable[str],
+        scheme: QGramScheme | None = None,
+        rho: float = DEFAULT_RHO,
+        r: float = DEFAULT_CONFIDENCE_R,
+        seed: int | None = None,
+    ) -> "CVectorEncoder":
+        """Size the compact space from a data sample via Theorem 1.
+
+        ``b^(f_i)`` is measured as the average q-gram count over the sample
+        (the paper's Charlie samples strings "randomly and uniformly" to
+        compute it), then ``m_opt`` follows from Theorem 1.
+        """
+        scheme = scheme or QGramScheme()
+        counts = [scheme.count(value) for value in sample]
+        if not counts:
+            raise ValueError("calibration sample must be non-empty")
+        b = sum(counts) / len(counts)
+        if b <= 0:
+            raise ValueError("calibration sample produced no q-grams")
+        m_opt = optimal_cvector_size(b, rho, r)
+        encoder = cls(m_opt, scheme=scheme, seed=seed)
+        encoder.b = b  # type: ignore[attr-defined]  # diagnostic: measured b^(f_i)
+        return encoder
+
+    def __repr__(self) -> str:
+        return f"CVectorEncoder(m={self.m}, q={self.scheme.q}, padded={self.scheme.padded})"

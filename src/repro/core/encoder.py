@@ -1,0 +1,196 @@
+"""Record-level c-vector encoders (Section 5.2, last paragraph).
+
+Charlie receives records of ``n_f`` string attributes, transforms each
+attribute value into an attribute-level c-vector sized by Theorem 1, and
+concatenates them into the record-level structure of size ``m̄_opt``.
+:class:`RecordEncoder` performs exactly this, tracks the bit offset of each
+attribute inside the concatenated vector (needed by the attribute-level
+blocking of Section 5.4), and encodes whole datasets into packed matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cvector import CVectorEncoder
+from repro.core.qgram import QGramScheme
+from repro.core.sizing import DEFAULT_CONFIDENCE_R, DEFAULT_RHO
+from repro.hamming.bitmatrix import BitMatrix, scatter_bits
+from repro.hamming.bitvector import BitVector
+from repro.hamming.distance import masked_hamming_rows
+
+
+@dataclass(frozen=True)
+class AttributeLayout:
+    """Where one attribute's c-vector lives inside the record-level vector."""
+
+    name: str
+    offset: int
+    width: int
+
+    @property
+    def stop(self) -> int:
+        return self.offset + self.width
+
+
+class RecordEncoder:
+    """Encode multi-attribute string records into record-level c-vectors.
+
+    Parameters
+    ----------
+    encoders:
+        One :class:`CVectorEncoder` per attribute, in record order.
+    names:
+        Attribute names (``f_1 .. f_nf``); defaults to ``f1, f2, ...``.
+    """
+
+    def __init__(self, encoders: Sequence[CVectorEncoder], names: Sequence[str] | None = None):
+        if not encoders:
+            raise ValueError("encoders must be non-empty")
+        if names is None:
+            names = [f"f{i + 1}" for i in range(len(encoders))]
+        if len(names) != len(encoders):
+            raise ValueError(f"{len(names)} names for {len(encoders)} encoders")
+        if len(set(names)) != len(names):
+            raise ValueError(f"attribute names must be unique: {names}")
+        self.encoders = list(encoders)
+        self.names = list(names)
+        self.layouts: list[AttributeLayout] = []
+        offset = 0
+        for name, enc in zip(self.names, self.encoders):
+            self.layouts.append(AttributeLayout(name=name, offset=offset, width=enc.m))
+            offset += enc.m
+        self._by_name = {layout.name: i for i, layout in enumerate(self.layouts)}
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.encoders)
+
+    @property
+    def total_bits(self) -> int:
+        """``m̄_opt``: the record-level c-vector width."""
+        return self.layouts[-1].stop
+
+    def layout(self, attribute: str) -> AttributeLayout:
+        """Bit layout of a named attribute."""
+        try:
+            return self.layouts[self._by_name[attribute]]
+        except KeyError:
+            raise KeyError(f"unknown attribute {attribute!r}; have {self.names}") from None
+
+    def attribute_encoder(self, attribute: str) -> CVectorEncoder:
+        return self.encoders[self._by_name[attribute]]
+
+    # -- per-record API ---------------------------------------------------------
+
+    def encode(self, values: Sequence[str]) -> BitVector:
+        """Record-level c-vector: attribute-level c-vectors concatenated."""
+        self._check_arity(values)
+        out = self.encoders[0].encode(values[0])
+        for enc, value in zip(self.encoders[1:], values[1:]):
+            out = out.concat(enc.encode(value))
+        return out
+
+    def _check_arity(self, values: Sequence[str]) -> None:
+        if len(values) != self.n_attributes:
+            raise ValueError(
+                f"record has {len(values)} values, encoder expects {self.n_attributes}"
+            )
+
+    # -- dataset API --------------------------------------------------------------
+
+    def encode_dataset(self, records: Sequence[Sequence[str]]) -> BitMatrix:
+        """Encode many records into one packed record-level matrix.
+
+        Implemented as a single vectorised scatter over all attributes:
+        attribute ``i``'s compact indices are shifted by its bit offset.
+        """
+        if not records:
+            raise ValueError("records must be non-empty")
+        rows: list[np.ndarray] = []
+        bits: list[np.ndarray] = []
+        for att, (enc, layout) in enumerate(zip(self.encoders, self.layouts)):
+            att_rows: list[int] = []
+            originals: list[int] = []
+            for i, record in enumerate(records):
+                self._check_arity(record)
+                u_s = enc.scheme.index_set(record[att])
+                att_rows.extend([i] * len(u_s))
+                originals.extend(u_s)
+            if not originals:
+                continue
+            hashed = enc.hash_fn.apply(np.asarray(originals, dtype=np.int64))
+            rows.append(np.asarray(att_rows, dtype=np.int64))
+            bits.append(hashed + layout.offset)
+        if not rows:
+            return BitMatrix.zeros(len(records), self.total_bits)
+        return scatter_bits(
+            len(records), self.total_bits, np.concatenate(rows), np.concatenate(bits)
+        )
+
+    def encode_attribute(self, records: Sequence[Sequence[str]], attribute: str) -> BitMatrix:
+        """Attribute-level matrix for one named attribute."""
+        idx = self._by_name[attribute]
+        return self.encoders[idx].encode_all([record[idx] for record in records])
+
+    def attribute_distances(
+        self, matrix_a: BitMatrix, rows_a: np.ndarray, matrix_b: BitMatrix, rows_b: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Per-attribute Hamming distances for candidate pairs.
+
+        Both matrices must be record-level matrices from this encoder.  The
+        distances are computed by slicing each attribute's bit range, which
+        is what the matching step's classification rules consume.
+        """
+        out: dict[str, np.ndarray] = {}
+        words_a = matrix_a.words
+        words_b = matrix_b.words
+        for layout in self.layouts:
+            out[layout.name] = masked_hamming_rows(
+                words_a, rows_a, words_b, rows_b, layout.offset, layout.stop
+            )
+        return out
+
+    # -- calibration ----------------------------------------------------------------
+
+    @classmethod
+    def calibrated(
+        cls,
+        sample_records: Sequence[Sequence[str]],
+        names: Sequence[str] | None = None,
+        scheme: QGramScheme | None = None,
+        rho: float = DEFAULT_RHO,
+        r: float = DEFAULT_CONFIDENCE_R,
+        seed: int | None = None,
+    ) -> "RecordEncoder":
+        """Calibrate one encoder per attribute from sample records.
+
+        Each attribute's ``b^(f_i)`` is measured on the sample and its
+        ``m_opt`` derived via Theorem 1; hash functions are drawn from a
+        seeded stream so the whole encoder is reproducible.
+        """
+        if not sample_records:
+            raise ValueError("sample_records must be non-empty")
+        n_attrs = len(sample_records[0])
+        scheme = scheme or QGramScheme()
+        seeds = np.random.SeedSequence(seed).spawn(n_attrs)
+        encoders = []
+        for att in range(n_attrs):
+            column = [record[att] for record in sample_records]
+            encoders.append(
+                CVectorEncoder.calibrated(
+                    column,
+                    scheme=scheme,
+                    rho=rho,
+                    r=r,
+                    seed=seeds[att],
+                )
+            )
+        return cls(encoders, names=names)
+
+    def __repr__(self) -> str:
+        widths = ", ".join(f"{lay.name}={lay.width}" for lay in self.layouts)
+        return f"RecordEncoder(total_bits={self.total_bits}, {widths})"

@@ -1,0 +1,347 @@
+"""cBV-HB: the paper's end-to-end record linkage pipeline (Section 5).
+
+The pipeline is Charlie's job from Section 3:
+
+1. **Calibrate** — sample strings per attribute, measure ``b^(f_i)``, size
+   the c-vectors via Theorem 1 and draw the attribute hash functions.
+2. **Embed** — encode both datasets into record-level c-vector matrices.
+3. **Block** — either the standard record-level HB (Section 4.2) or the
+   rule-aware attribute-level blocking (Section 5.4).
+4. **Match** — Algorithm 2: de-duplicated candidate pairs, classified with
+   a Hamming threshold or the rule AST over per-attribute distances.
+
+:class:`CompactHammingLinker` owns steps 1-4 for dataset-vs-dataset
+linkage; :class:`StreamingLinker` exposes an insert/query API for the
+near-real-time setting motivating the paper's introduction.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import (
+    CalibrationConfig,
+    DEFAULT_DELTA,
+    DEFAULT_K,
+    PL_RECORD_THRESHOLD,
+)
+from repro.core.encoder import RecordEncoder
+from repro.core.qgram import QGramScheme
+from repro.hamming.bitvector import BitVector
+from repro.hamming.lsh import HammingLSH
+from repro.rules.ast import Rule
+from repro.rules.blocking import RuleAwareBlocker
+
+
+@dataclass
+class LinkageResult:
+    """Output of one linkage run, with enough detail for every metric."""
+
+    rows_a: np.ndarray
+    rows_b: np.ndarray
+    n_candidates: int
+    comparison_space: int
+    timings: dict[str, float] = field(default_factory=dict)
+    attribute_distances: dict[str, np.ndarray] = field(default_factory=dict)
+    record_distances: np.ndarray | None = None
+
+    @property
+    def matches(self) -> set[tuple[int, int]]:
+        """The classified matching pairs as (row in A, row in B) tuples."""
+        return set(zip(self.rows_a.tolist(), self.rows_b.tolist()))
+
+    @property
+    def n_matches(self) -> int:
+        return int(self.rows_a.size)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+def _value_rows(dataset) -> list[tuple[str, ...]]:
+    """Accept a Dataset or a plain sequence of value rows."""
+    if hasattr(dataset, "value_rows"):
+        return dataset.value_rows()
+    return [tuple(row) for row in dataset]
+
+
+class CompactHammingLinker:
+    """The cBV-HB blocking/matching method.
+
+    Construct via :meth:`record_level` (standard HB, one record-level
+    threshold) or :meth:`rule_aware` (attribute-level blocking adapted to a
+    classification rule), then call :meth:`link`.
+
+    Examples
+    --------
+    >>> from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+    >>> problem = build_linkage_problem(NCVRGenerator(), 200, scheme_pl(), seed=7)
+    >>> linker = CompactHammingLinker.record_level(threshold=4, k=30, seed=7)
+    >>> result = linker.link(problem.dataset_a, problem.dataset_b)
+    >>> result.n_matches > 0
+    True
+    """
+
+    def __init__(
+        self,
+        threshold: int | None = None,
+        rule: Rule | None = None,
+        k: int | Mapping[str, int] = DEFAULT_K,
+        delta: float = DEFAULT_DELTA,
+        n_tables: int | None = None,
+        calibration: CalibrationConfig | None = None,
+        scheme: QGramScheme | None = None,
+        attribute_names: Sequence[str] | None = None,
+        seed: int | None = None,
+    ):
+        if (threshold is None) == (rule is None):
+            raise ValueError("specify exactly one of threshold (record-level) or rule")
+        if rule is not None and not isinstance(k, Mapping):
+            raise ValueError("rule-aware blocking needs a per-attribute K mapping")
+        if threshold is not None and isinstance(k, Mapping):
+            raise ValueError("record-level blocking takes a single integer K")
+        self.threshold = threshold
+        self.rule = rule
+        self.k = k
+        self.delta = delta
+        self.n_tables = n_tables
+        self.calibration = calibration or CalibrationConfig()
+        self.scheme = scheme
+        self.attribute_names = list(attribute_names) if attribute_names else None
+        self.seed = seed
+        self.encoder: RecordEncoder | None = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def record_level(
+        cls,
+        threshold: int = PL_RECORD_THRESHOLD,
+        k: int = DEFAULT_K,
+        delta: float = DEFAULT_DELTA,
+        n_tables: int | None = None,
+        calibration: CalibrationConfig | None = None,
+        scheme: QGramScheme | None = None,
+        seed: int | None = None,
+    ) -> "CompactHammingLinker":
+        """Standard HB over the whole record-level c-vector (Section 4.2)."""
+        return cls(
+            threshold=threshold,
+            k=k,
+            delta=delta,
+            n_tables=n_tables,
+            calibration=calibration,
+            scheme=scheme,
+            seed=seed,
+        )
+
+    @classmethod
+    def rule_aware(
+        cls,
+        rule: Rule,
+        k: Mapping[str, int],
+        delta: float = DEFAULT_DELTA,
+        calibration: CalibrationConfig | None = None,
+        scheme: QGramScheme | None = None,
+        attribute_names: Sequence[str] | None = None,
+        seed: int | None = None,
+    ) -> "CompactHammingLinker":
+        """Attribute-level blocking adapted to ``rule`` (Section 5.4).
+
+        ``rule`` refers to attributes by the encoder's names (``f1..fn``
+        by default, or ``attribute_names``).
+        """
+        return cls(
+            rule=rule,
+            k=dict(k),
+            delta=delta,
+            calibration=calibration,
+            scheme=scheme,
+            attribute_names=attribute_names,
+            seed=seed,
+        )
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def calibrate(self, *datasets) -> RecordEncoder:
+        """Step 1: size and draw the attribute encoders from data samples.
+
+        Samples up to ``calibration.sample_size`` records from each dataset
+        (Charlie samples "randomly and uniformly" in the paper) and fits
+        one c-vector encoder per attribute.
+        """
+        rows: list[tuple[str, ...]] = []
+        rng = np.random.default_rng(self.calibration.seed)
+        per_dataset = max(1, self.calibration.sample_size // max(1, len(datasets)))
+        for dataset in datasets:
+            all_rows = _value_rows(dataset)
+            if len(all_rows) <= per_dataset:
+                rows.extend(all_rows)
+            else:
+                picks = rng.choice(len(all_rows), size=per_dataset, replace=False)
+                rows.extend(all_rows[int(i)] for i in picks)
+        scheme = self.scheme
+        if scheme is None and datasets and hasattr(datasets[0], "schema"):
+            scheme = datasets[0].schema[0].scheme
+        self.encoder = RecordEncoder.calibrated(
+            rows,
+            names=self.attribute_names,
+            scheme=scheme,
+            rho=self.calibration.rho,
+            r=self.calibration.r,
+            seed=self.seed,
+        )
+        return self.encoder
+
+    def _build_blocker(self, encoder: RecordEncoder):
+        if self.rule is not None:
+            assert isinstance(self.k, Mapping)
+            return RuleAwareBlocker(
+                self.rule, encoder, k=self.k, delta=self.delta, seed=self.seed
+            )
+        assert isinstance(self.k, int)
+        return HammingLSH(
+            n_bits=encoder.total_bits,
+            k=self.k,
+            threshold=self.threshold,
+            delta=self.delta,
+            n_tables=self.n_tables,
+            seed=self.seed,
+        )
+
+    def link(self, dataset_a, dataset_b) -> LinkageResult:
+        """Run the full calibrate/embed/block/match pipeline."""
+        rows_a = _value_rows(dataset_a)
+        rows_b = _value_rows(dataset_b)
+
+        t0 = time.perf_counter()
+        if self.encoder is None:
+            self.calibrate(dataset_a, dataset_b)
+        encoder = self.encoder
+        assert encoder is not None
+        t_calibrate = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        matrix_a = encoder.encode_dataset(rows_a)
+        matrix_b = encoder.encode_dataset(rows_b)
+        t_embed = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        blocker = self._build_blocker(encoder)
+        blocker.index(matrix_a)
+        t_index = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if isinstance(blocker, RuleAwareBlocker):
+            cand_a, cand_b = blocker.candidate_pairs(matrix_b)
+            distances = (
+                encoder.attribute_distances(matrix_a, cand_a, matrix_b, cand_b)
+                if cand_a.size
+                else {}
+            )
+            accepted = (
+                np.asarray(self.rule.evaluate(distances))
+                if cand_a.size
+                else np.empty(0, dtype=bool)
+            )
+            out_a, out_b = cand_a[accepted], cand_b[accepted]
+            attr_distances = {name: d[accepted] for name, d in distances.items()}
+            record_distances = None
+        else:
+            cand_a, cand_b = blocker.candidate_pairs(matrix_b)
+            if cand_a.size:
+                dist = matrix_a.hamming_rows(cand_a, matrix_b, cand_b)
+                keep = dist <= (self.threshold or 0)
+                out_a, out_b, record_distances = cand_a[keep], cand_b[keep], dist[keep]
+            else:
+                out_a, out_b = cand_a, cand_b
+                record_distances = np.empty(0, dtype=np.int64)
+            attr_distances = {}
+        t_match = time.perf_counter() - t0
+
+        return LinkageResult(
+            rows_a=out_a,
+            rows_b=out_b,
+            n_candidates=int(cand_a.size),
+            comparison_space=len(rows_a) * len(rows_b),
+            timings={
+                "calibrate": t_calibrate,
+                "embed": t_embed,
+                "index": t_index,
+                "match": t_match,
+            },
+            attribute_distances=attr_distances,
+            record_distances=record_distances,
+        )
+
+    def link_multiple(self, datasets: Sequence) -> dict[tuple[int, int], LinkageResult]:
+        """Link every dataset pair ``(i, j), i < j`` with one shared encoder.
+
+        Section 5.3 notes the method "is capable of handling an arbitrary
+        number of data sets (two or more)"; the shared calibration keeps
+        all embeddings in one comparable space.
+        """
+        if len(datasets) < 2:
+            raise ValueError("need at least two datasets")
+        if self.encoder is None:
+            self.calibrate(*datasets)
+        results: dict[tuple[int, int], LinkageResult] = {}
+        for i in range(len(datasets)):
+            for j in range(i + 1, len(datasets)):
+                results[(i, j)] = self.link(datasets[i], datasets[j])
+        return results
+
+
+class StreamingLinker:
+    """Incremental insert/query over the HB index (real-time setting, Section 1).
+
+    Records of the reference dataset are inserted one at a time; each query
+    record is blocked and matched immediately — the health-surveillance
+    scenario where streams are integrated "in real-time".
+    """
+
+    def __init__(
+        self,
+        encoder: RecordEncoder,
+        threshold: int,
+        k: int = DEFAULT_K,
+        delta: float = DEFAULT_DELTA,
+        seed: int | None = None,
+    ):
+        self.encoder = encoder
+        self.threshold = threshold
+        self._lsh = HammingLSH(
+            n_bits=encoder.total_bits, k=k, threshold=threshold, delta=delta, seed=seed
+        )
+        self._vectors: list[BitVector] = []
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def insert(self, values: Sequence[str]) -> int:
+        """Insert one record; returns its internal id."""
+        vector = self.encoder.encode(values)
+        record_id = len(self._vectors)
+        self._vectors.append(vector)
+        self._lsh.insert(vector, record_id)
+        return record_id
+
+    def query(self, values: Sequence[str]) -> list[tuple[int, int]]:
+        """Matching (id, distance) pairs for one incoming record."""
+        vector = self.encoder.encode(values)
+        out: list[tuple[int, int]] = []
+        for rid in self._lsh.query(vector):
+            distance = self._vectors[rid].hamming(vector)
+            if distance <= self.threshold:
+                out.append((rid, distance))
+        return out
+
+    def insert_dataset(self, dataset) -> None:
+        """Bulk insert of a dataset (convenience for warm-up)."""
+        for values in _value_rows(dataset):
+            self.insert(values)

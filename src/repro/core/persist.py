@@ -1,0 +1,109 @@
+"""Serialising calibrated encoders (deploy the same embedding everywhere).
+
+A record encoder is defined by small integers — per-attribute widths and
+the universal-hash coefficients ``(a, b)`` — plus the q-gram scheme.  In
+the three-party workflow every custodian must embed with *bit-identical*
+encoders, and a production deployment wants to calibrate once and reuse
+forever; both need the encoder to round-trip through a file.
+
+The format is plain JSON, versioned, with nothing executable in it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.cvector import CVectorEncoder, UniversalHash
+from repro.core.encoder import RecordEncoder
+from repro.core.qgram import QGramScheme
+from repro.text.alphabet import Alphabet
+
+FORMAT_VERSION = 1
+
+
+def scheme_to_dict(scheme: QGramScheme) -> dict[str, Any]:
+    return {
+        "q": scheme.q,
+        "alphabet": scheme.alphabet.chars,
+        "padded": scheme.padded,
+        "pad_char": scheme.pad_char,
+    }
+
+
+def scheme_from_dict(data: dict[str, Any]) -> QGramScheme:
+    return QGramScheme(
+        q=int(data["q"]),
+        alphabet=Alphabet(data["alphabet"]),
+        padded=bool(data["padded"]),
+        pad_char=data["pad_char"],
+    )
+
+
+def encoder_to_dict(encoder: RecordEncoder) -> dict[str, Any]:
+    """A JSON-safe description of a calibrated record encoder."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "attributes": [
+            {
+                "name": layout.name,
+                "m": attribute.m,
+                "hash_a": attribute.hash_fn.a,
+                "hash_b": attribute.hash_fn.b,
+                "hash_p": attribute.hash_fn.p,
+                "scheme": scheme_to_dict(attribute.scheme),
+            }
+            for layout, attribute in zip(encoder.layouts, encoder.encoders)
+        ],
+    }
+
+
+def encoder_from_dict(data: dict[str, Any]) -> RecordEncoder:
+    """Rebuild a record encoder from :func:`encoder_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported encoder format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    attributes = data.get("attributes") or []
+    if not attributes:
+        raise ValueError("encoder description has no attributes")
+    encoders = []
+    names = []
+    for attr in attributes:
+        names.append(attr["name"])
+        encoders.append(
+            CVectorEncoder(
+                int(attr["m"]),
+                scheme=scheme_from_dict(attr["scheme"]),
+                hash_fn=UniversalHash(
+                    a=int(attr["hash_a"]),
+                    b=int(attr["hash_b"]),
+                    m=int(attr["m"]),
+                    p=int(attr["hash_p"]),
+                ),
+            )
+        )
+    return RecordEncoder(encoders, names=names)
+
+
+def save_encoder(encoder: RecordEncoder, path: str | Path) -> None:
+    """Write the encoder as JSON.
+
+    >>> import tempfile, os
+    >>> enc = RecordEncoder([CVectorEncoder(15, seed=1)], names=['f1'])
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     save_encoder(enc, os.path.join(d, 'enc.json'))
+    ...     loaded = load_encoder(os.path.join(d, 'enc.json'))
+    >>> loaded.encode(('JONES',)) == enc.encode(('JONES',))
+    True
+    """
+    path = Path(path)
+    path.write_text(json.dumps(encoder_to_dict(encoder), indent=2), encoding="utf-8")
+
+
+def load_encoder(path: str | Path) -> RecordEncoder:
+    """Read an encoder previously written by :func:`save_encoder`."""
+    return encoder_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,154 @@
+"""q-gram extraction and q-gram vectors (Section 4.1, Algorithm 1).
+
+A *q-gram vector* represents a string deterministically in the Hamming
+space ``{0,1}^(|S|^q)``: every position stands for one distinct q-gram, and
+the positions of the q-grams occurring in the string are set to 1.
+
+Algorithm 1 gives the bijection ``F`` from a q-gram to its position: the
+q-gram is read as a base-``|S|`` number using the zero-based order of each
+character in the alphabet ``S``.  For the upper-case alphabet and bigrams,
+``F('JO') = 9*26 + 14 = 248`` — exactly the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hamming.bitvector import BitVector
+from repro.text.alphabet import Alphabet, DEFAULT_ALPHABET
+from repro.text.normalize import pad as pad_string
+
+
+def qgrams(value: str, q: int = 2, padded: bool = False, pad_char: str = "_") -> list[str]:
+    """The q-grams of ``value`` in order of occurrence (with repeats).
+
+    With ``padded=True`` the string is first padded with ``q - 1`` pad
+    characters on each side (footnote 4 of the paper), so the first and
+    last characters participate in ``q`` q-grams each.
+
+    >>> qgrams('JOHN')
+    ['JO', 'OH', 'HN']
+    >>> qgrams('JOHN', padded=True)
+    ['_J', 'JO', 'OH', 'HN', 'N_']
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    text = pad_string(value, q, pad_char) if padded else value
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def qgram_index(gram: str, alphabet: Alphabet = DEFAULT_ALPHABET) -> int:
+    """Algorithm 1: map a q-gram to its position in the q-gram vector.
+
+    ``ind = sum_i ord(gr[i]) * |S|^(q - i)`` with zero-based ``ord``.
+
+    >>> qgram_index('JO'), qgram_index('OH'), qgram_index('HN')
+    (248, 371, 195)
+    """
+    if not gram:
+        raise ValueError("q-gram must be non-empty")
+    size = len(alphabet)
+    ind = 0
+    for ch in gram:
+        ind = ind * size + alphabet.index(ch)
+    return ind
+
+
+def qgram_from_index(index: int, q: int, alphabet: Alphabet = DEFAULT_ALPHABET) -> str:
+    """Invert Algorithm 1: reconstruct the q-gram at vector position ``index``.
+
+    >>> qgram_from_index(248, 2)
+    'JO'
+    """
+    size = len(alphabet)
+    if not 0 <= index < size**q:
+        raise ValueError(f"index {index} out of range for |S|^q = {size ** q}")
+    chars = []
+    for __ in range(q):
+        index, rem = divmod(index, size)
+        chars.append(alphabet.char(rem))
+    return "".join(reversed(chars))
+
+
+def qgram_index_set(
+    value: str,
+    q: int = 2,
+    alphabet: Alphabet = DEFAULT_ALPHABET,
+    padded: bool = False,
+    pad_char: str = "_",
+) -> frozenset[int]:
+    """The set ``U_s`` of q-gram vector positions set by string ``value``.
+
+    >>> sorted(qgram_index_set('JOHN'))
+    [195, 248, 371]
+    """
+    return frozenset(
+        qgram_index(g, alphabet) for g in qgrams(value, q, padded, pad_char)
+    )
+
+
+@dataclass(frozen=True)
+class QGramScheme:
+    """A fully specified q-gram extraction scheme.
+
+    Bundles ``q``, the alphabet ``S`` and the padding policy so every
+    component (q-gram vectors, c-vectors, Bloom filters, MinHash) tokenises
+    strings identically.
+    """
+
+    q: int = 2
+    alphabet: Alphabet = DEFAULT_ALPHABET
+    padded: bool = False
+    pad_char: str = "_"
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ValueError(f"q must be >= 1, got {self.q}")
+        if self.padded and self.pad_char not in self.alphabet:
+            raise ValueError(
+                f"padding char {self.pad_char!r} must be in the alphabet when padded=True"
+            )
+
+    @property
+    def space_size(self) -> int:
+        """``m = |S|^q``, the width of the full q-gram vector space H."""
+        return self.alphabet.qgram_space_size(self.q)
+
+    def grams(self, value: str) -> list[str]:
+        return qgrams(value, self.q, self.padded, self.pad_char)
+
+    def index_set(self, value: str) -> frozenset[int]:
+        """``U_s`` for ``value`` under this scheme."""
+        return qgram_index_set(value, self.q, self.alphabet, self.padded, self.pad_char)
+
+    def count(self, value: str) -> int:
+        """Number of q-grams produced by ``value`` (with repeats).
+
+        This is the quantity averaged into ``b^(f_i)`` in Table 3.
+        """
+        length = len(value) + (2 * (self.q - 1) if self.padded else 0)
+        return max(0, length - self.q + 1)
+
+    def vector(self, value: str) -> BitVector:
+        """The full (sparse) q-gram vector of ``value`` in ``{0,1}^(|S|^q)``."""
+        return BitVector.from_indices(self.space_size, self.index_set(value))
+
+
+def qgram_vector(value: str, scheme: QGramScheme | None = None) -> BitVector:
+    """Build the q-gram vector of ``value`` (Figure 1 of the paper)."""
+    scheme = scheme or QGramScheme()
+    return scheme.vector(value)
+
+
+def record_qgram_vector(values: list[str], scheme: QGramScheme | None = None) -> BitVector:
+    """Record-level q-gram vector: attribute-level vectors concatenated.
+
+    The result lives in ``{0,1}^(n_f * |S|^q)`` (Section 4.1).
+    """
+    scheme = scheme or QGramScheme()
+    if not values:
+        raise ValueError("values must be non-empty")
+    out = scheme.vector(values[0])
+    for value in values[1:]:
+        out = out.concat(scheme.vector(value))
+    return out

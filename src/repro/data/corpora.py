@@ -1,0 +1,184 @@
+"""Embedded corpora for the synthetic data generators.
+
+The paper evaluates on the NCVR voter file and the DBLP bibliography, which
+are not redistributable here; :mod:`repro.data.generators` builds synthetic
+look-alikes from these word lists instead.  Lists are deliberately plain
+upper-case ASCII so they embed losslessly into every alphabet used by the
+encoders.
+"""
+
+from __future__ import annotations
+
+import math
+
+FIRST_NAMES: tuple[str, ...] = (
+    "JAMES", "MARY", "ROBERT", "PATRICIA", "JOHN", "JENNIFER", "MICHAEL",
+    "LINDA", "DAVID", "ELIZABETH", "WILLIAM", "BARBARA", "RICHARD", "SUSAN",
+    "JOSEPH", "JESSICA", "THOMAS", "SARAH", "CHARLES", "KAREN", "CHRISTOPHER",
+    "LISA", "DANIEL", "NANCY", "MATTHEW", "BETTY", "ANTHONY", "MARGARET",
+    "MARK", "SANDRA", "DONALD", "ASHLEY", "STEVEN", "KIMBERLY", "PAUL",
+    "EMILY", "ANDREW", "DONNA", "JOSHUA", "MICHELLE", "KENNETH", "DOROTHY",
+    "KEVIN", "CAROL", "BRIAN", "AMANDA", "GEORGE", "MELISSA", "EDWARD",
+    "DEBORAH", "RONALD", "STEPHANIE", "TIMOTHY", "REBECCA", "JASON", "SHARON",
+    "JEFFREY", "LAURA", "RYAN", "CYNTHIA", "JACOB", "KATHLEEN", "GARY",
+    "AMY", "NICHOLAS", "ANGELA", "ERIC", "SHIRLEY", "JONATHAN", "ANNA",
+    "STEPHEN", "BRENDA", "LARRY", "PAMELA", "JUSTIN", "EMMA", "SCOTT",
+    "NICOLE", "BRANDON", "HELEN", "BENJAMIN", "SAMANTHA", "SAMUEL",
+    "KATHERINE", "GREGORY", "CHRISTINE", "FRANK", "DEBRA", "ALEXANDER",
+    "RACHEL", "RAYMOND", "CATHERINE", "PATRICK", "CAROLYN", "JACK", "JANET",
+    "DENNIS", "RUTH", "JERRY", "MARIA", "TYLER", "HEATHER", "AARON", "DIANE",
+    "JOSE", "VIRGINIA", "ADAM", "JULIE", "HENRY", "JOYCE", "NATHAN",
+    "VICTORIA", "DOUGLAS", "OLIVIA", "ZACHARY", "KELLY", "PETER", "CHRISTINA",
+    "KYLE", "LAUREN", "WALTER", "JOAN", "ETHAN", "EVELYN", "JEREMY", "JUDITH",
+    "HAROLD", "MEGAN", "KEITH", "CHERYL", "CHRISTIAN", "ANDREA", "ROGER",
+    "HANNAH", "NOAH", "MARTHA", "GERALD", "JACQUELINE", "CARL", "FRANCES",
+    "TERRY", "GLORIA", "SEAN", "ANN", "AUSTIN", "TERESA", "ARTHUR", "KATHRYN",
+    "LAWRENCE", "SARA", "JESSE", "JANICE", "DYLAN", "JEAN", "BRYAN", "ALICE",
+    "JOE", "MADISON", "JORDAN", "DORIS", "BILLY", "ABIGAIL", "BRUCE", "JULIA",
+    "ALBERT", "JUDY", "WILLIE", "GRACE", "GABRIEL", "DENISE", "LOGAN",
+    "AMBER", "ALAN", "MARILYN", "JUAN", "BEVERLY", "WAYNE", "DANIELLE",
+    "ROY", "THERESA", "RALPH", "SOPHIA", "RANDY", "MARIE", "EUGENE", "DIANA",
+    "VINCENT", "BRITTANY", "RUSSELL", "NATALIE", "ELIJAH", "ISABELLA",
+    "LOUIS", "CHARLOTTE", "BOBBY", "ROSE", "PHILIP", "ALEXIS", "JOHNNY",
+    "KAYLA", "SHANNEN", "JONES", "HARVEY", "WESLEY", "DEREK", "CLARA",
+    "MARVIN", "LUCY", "OSCAR", "STELLA", "FELIX", "NORA", "HUGO", "IRIS",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER",
+    "DAVIS", "RODRIGUEZ", "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ",
+    "WILSON", "ANDERSON", "THOMAS", "TAYLOR", "MOORE", "JACKSON", "MARTIN",
+    "LEE", "PEREZ", "THOMPSON", "WHITE", "HARRIS", "SANCHEZ", "CLARK",
+    "RAMIREZ", "LEWIS", "ROBINSON", "WALKER", "YOUNG", "ALLEN", "KING",
+    "WRIGHT", "SCOTT", "TORRES", "NGUYEN", "HILL", "FLORES", "GREEN",
+    "ADAMS", "NELSON", "BAKER", "HALL", "RIVERA", "CAMPBELL", "MITCHELL",
+    "CARTER", "ROBERTS", "GOMEZ", "PHILLIPS", "EVANS", "TURNER", "DIAZ",
+    "PARKER", "CRUZ", "EDWARDS", "COLLINS", "REYES", "STEWART", "MORRIS",
+    "MORALES", "MURPHY", "COOK", "ROGERS", "GUTIERREZ", "ORTIZ", "MORGAN",
+    "COOPER", "PETERSON", "BAILEY", "REED", "KELLY", "HOWARD", "RAMOS",
+    "KIM", "COX", "WARD", "RICHARDSON", "WATSON", "BROOKS", "CHAVEZ",
+    "WOOD", "JAMES", "BENNETT", "GRAY", "MENDOZA", "RUIZ", "HUGHES",
+    "PRICE", "ALVAREZ", "CASTILLO", "SANDERS", "PATEL", "MYERS", "LONG",
+    "ROSS", "FOSTER", "JIMENEZ", "POWELL", "JENKINS", "PERRY", "RUSSELL",
+    "SULLIVAN", "BELL", "COLEMAN", "BUTLER", "HENDERSON", "BARNES",
+    "GONZALES", "FISHER", "VASQUEZ", "SIMMONS", "ROMERO", "JORDAN",
+    "PATTERSON", "ALEXANDER", "HAMILTON", "GRAHAM", "REYNOLDS", "GRIFFIN",
+    "WALLACE", "MORENO", "WEST", "COLE", "HAYES", "BRYANT", "HERRERA",
+    "GIBSON", "ELLIS", "TRAN", "MEDINA", "AGUILAR", "STEVENS", "MURRAY",
+    "FORD", "CASTRO", "MARSHALL", "OWENS", "HARRISON", "FERNANDEZ",
+    "MCDONALD", "WOODS", "WASHINGTON", "KENNEDY", "WELLS", "VARGAS",
+    "HENRY", "CHEN", "FREEMAN", "WEBB", "TUCKER", "GUZMAN", "BURNS",
+    "CRAWFORD", "OLSON", "SIMPSON", "PORTER", "HUNTER", "GORDON", "MENDEZ",
+    "SILVA", "SHAW", "SNYDER", "MASON", "DIXON", "MUNOZ", "HUNT", "HICKS",
+    "HOLMES", "PALMER", "WAGNER", "BLACK", "ROBERTSON", "BOYD", "ROSE",
+    "STONE", "SALAZAR", "FOX", "WARREN", "MILLS", "MEYER", "RICE",
+    "SCHMIDT", "GARZA", "DANIELS", "FERGUSON", "NICHOLS", "STEPHENS",
+    "SOTO", "WEAVER", "RYAN", "GARDNER", "PAYNE", "GRANT", "DUNN",
+    "KELLEY", "SPENCER", "HAWKINS", "ARNOLD", "PIERCE", "VAZQUEZ",
+    "HANSEN", "PETERS", "SANTOS", "HART", "BRADLEY", "KNIGHT", "ELLIOTT",
+    "CUNNINGHAM", "DUNCAN", "ARMSTRONG", "HUDSON", "CARROLL", "LANE",
+    "RILEY", "ANDREWS", "ALVARADO", "RAY", "DELGADO", "BERRY", "PERKINS",
+    "HOFFMAN", "JOHNSTON", "MATTHEWS", "PENA", "RICHARDS", "CONTRERAS",
+    "WILLIS", "CARPENTER", "LAWRENCE", "SANDOVAL", "GUERRERO", "GEORGE",
+    "CHAPMAN", "RIOS", "ESTRADA", "ORTEGA", "WATKINS", "GREENE", "NUNEZ",
+    "WHEELER", "VALDEZ", "HARPER", "BURKE", "LARSON", "SANTIAGO",
+    "MALDONADO", "MORRISON", "FRANKLIN", "CARLSON", "AUSTIN", "DOMINGUEZ",
+    "CARR", "LAWSON", "JACOBS", "OBRIEN", "LYNCH", "SINGH", "VEGA",
+    "BISHOP", "MONTGOMERY", "OLIVER", "JENSEN", "HARVEY", "WILLIAMSON",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "MAIN", "OAK", "PINE", "MAPLE", "CEDAR", "ELM", "WASHINGTON", "LAKE",
+    "HILL", "PARK", "WALNUT", "SPRING", "NORTH", "RIDGE", "CHURCH",
+    "WILLOW", "MEADOW", "FOREST", "HIGHLAND", "RIVER", "SUNSET", "JACKSON",
+    "FRANKLIN", "MILL", "JEFFERSON", "CHESTNUT", "COLLEGE", "CHERRY",
+    "DOGWOOD", "HICKORY", "LINCOLN", "MAGNOLIA", "LOCUST", "POPLAR",
+    "SYCAMORE", "VALLEY", "GREEN", "PROSPECT", "CENTER", "UNION",
+    "WOODLAND", "SPRUCE", "BIRCH", "LAUREL", "HARRISON", "MADISON",
+    "MONROE", "ADAMS", "COUNTRY CLUB", "FAIRWAY", "BROOKSIDE", "CLEARWATER",
+    "STONEBRIDGE", "FOXGLOVE", "HUNTINGTON", "KINGSTON", "LEXINGTON",
+    "BRIDGEPORT", "WESTCHESTER", "ARLINGTON", "BEACON", "CAROLINA",
+    "PIEDMONT", "SALISBURY", "WENDOVER", "GLENWOOD", "LAKESHORE",
+    "PEACHTREE", "RIVERBEND", "SADDLEBROOK", "TANGLEWOOD", "WILDWOOD",
+)
+
+STREET_TYPES: tuple[str, ...] = (
+    "ST", "AVE", "RD", "DR", "LN", "CT", "BLVD", "WAY", "PL", "CIR",
+    "TRL", "PKWY", "TER", "LOOP", "RUN",
+)
+
+TOWNS: tuple[str, ...] = (
+    "CHARLOTTE", "RALEIGH", "GREENSBORO", "DURHAM", "WINSTON SALEM",
+    "FAYETTEVILLE", "CARY", "WILMINGTON", "HIGH POINT", "CONCORD",
+    "ASHEVILLE", "GASTONIA", "GREENVILLE", "JACKSONVILLE", "CHAPEL HILL",
+    "ROCKY MOUNT", "HUNTERSVILLE", "BURLINGTON", "WILSON", "KANNAPOLIS",
+    "APEX", "HICKORY", "GOLDSBORO", "INDIAN TRAIL", "MOORESVILLE",
+    "WAKE FOREST", "MONROE", "SALISBURY", "NEW BERN", "HOLLY SPRINGS",
+    "MATTHEWS", "SANFORD", "GARNER", "CORNELIUS", "THOMASVILLE",
+    "ASHEBORO", "STATESVILLE", "MINT HILL", "KERNERSVILLE", "MORRISVILLE",
+    "LUMBERTON", "FUQUAY VARINA", "KINSTON", "CARRBORO", "HAVELOCK",
+    "SHELBY", "CLEMMONS", "LEXINGTON", "CLAYTON", "BOONE", "ELIZABETH CITY",
+    "PINEHURST", "ALBEMARLE", "LENOIR", "MOUNT AIRY", "GRAHAM", "OXFORD",
+    "EDEN", "HENDERSON", "TARBORO", "MOREHEAD CITY", "SOUTHERN PINES",
+    "WAYNESVILLE", "BREVARD", "SMITHFIELD", "WASHINGTON", "NEWTON",
+)
+
+TITLE_WORDS: tuple[str, ...] = (
+    "EFFICIENT", "SCALABLE", "DISTRIBUTED", "PARALLEL", "ADAPTIVE",
+    "INCREMENTAL", "APPROXIMATE", "OPTIMAL", "ROBUST", "DYNAMIC",
+    "QUERY", "PROCESSING", "OPTIMIZATION", "INDEXING", "JOINS",
+    "SIMILARITY", "SEARCH", "RECORD", "LINKAGE", "ENTITY", "RESOLUTION",
+    "DEDUPLICATION", "BLOCKING", "MATCHING", "HASHING", "CLUSTERING",
+    "CLASSIFICATION", "LEARNING", "MINING", "STREAMS", "GRAPHS",
+    "NETWORKS", "DATABASES", "SYSTEMS", "ALGORITHMS", "STRUCTURES",
+    "MODELS", "FRAMEWORKS", "ARCHITECTURES", "BENCHMARKS", "ANALYTICS",
+    "PRIVACY", "SECURITY", "INTEGRATION", "TRANSACTIONS", "CONCURRENCY",
+    "RECOVERY", "REPLICATION", "CONSISTENCY", "AVAILABILITY", "PARTITIONING",
+    "COMPRESSION", "SAMPLING", "ESTIMATION", "CARDINALITY", "SELECTIVITY",
+    "TOPK", "SKYLINE", "SPATIAL", "TEMPORAL", "PROBABILISTIC", "UNCERTAIN",
+    "SEMANTIC", "ONTOLOGY", "SCHEMA", "MAPPING", "EXTRACTION", "CLEANING",
+    "QUALITY", "PROVENANCE", "WORKFLOWS", "CROWDSOURCING", "KEYWORD",
+    "RANKING", "RECOMMENDATION", "PERSONALIZATION", "VISUALIZATION",
+    "EXPLORATION", "INTERACTIVE", "DECLARATIVE", "RELATIONAL", "COLUMNAR",
+    "TRANSACTIONAL", "ANALYTICAL", "FEDERATED", "HETEROGENEOUS", "MULTIMODAL",
+    "ON", "FOR", "WITH", "USING", "OVER", "UNDER", "TOWARDS", "BEYOND",
+    "LARGE", "SCALE", "BIG", "DATA", "CLOUD", "MEMORY", "DISK", "FLASH",
+    "HARDWARE", "AWARE", "DRIVEN", "BASED", "FREE", "LESS", "CENTRIC",
+)
+
+
+def length_tilt(words: tuple[str, ...], target_mean: float, tolerance: float = 1e-6) -> list[float]:
+    """Sampling weights that make the expected word length equal ``target_mean``.
+
+    Uses an exponential tilt ``w_i ∝ exp(t * len_i)`` with ``t`` found by
+    bisection.  This lets the generators hit the paper's per-attribute
+    average q-gram counts (Table 3) without curating word lists by hand.
+    """
+    lengths = [len(w) for w in words]
+    lo, hi = min(lengths), max(lengths)
+    if not lo < target_mean < hi:
+        raise ValueError(
+            f"target mean {target_mean} outside attainable range ({lo}, {hi})"
+        )
+
+    def tilted_mean(t: float) -> float:
+        # Subtract max exponent for numerical stability.
+        peak = max(t * n for n in lengths)
+        weights = [math.exp(t * n - peak) for n in lengths]
+        total = sum(weights)
+        return sum(w * n for w, n in zip(weights, lengths)) / total
+
+    t_lo, t_hi = -5.0, 5.0
+    for __ in range(200):
+        mid = (t_lo + t_hi) / 2.0
+        if tilted_mean(mid) < target_mean:
+            t_lo = mid
+        else:
+            t_hi = mid
+        if t_hi - t_lo < tolerance:
+            break
+    t = (t_lo + t_hi) / 2.0
+    peak = max(t * n for n in lengths)
+    weights = [math.exp(t * n - peak) for n in lengths]
+    total = sum(weights)
+    return [w / total for w in weights]

@@ -1,0 +1,221 @@
+"""Synthetic NCVR-like and DBLP-like dataset generators.
+
+The paper's experiments draw 1M-record datasets from the North Carolina
+voter registration file (FirstName / LastName / Address / Town) and the
+DBLP bibliography (FirstName / LastName / Title / Year).  Neither corpus is
+available offline, so these generators synthesise datasets with the same
+*shape*: attribute inventories and average per-attribute bigram counts
+``b^(f_i)`` matching Table 3 (5.1 / 5.0 / 20.0 / 7.2 and 4.8 / 6.2 / 64.8
+/ 3.0).  The linkage algorithms only ever observe strings and the measured
+``b`` statistics, so this preserves every behaviour the evaluation probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.qgram import QGramScheme
+from repro.data.corpora import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    STREET_NAMES,
+    STREET_TYPES,
+    TITLE_WORDS,
+    TOWNS,
+    length_tilt,
+)
+from repro.data.schema import AttributeSpec, Dataset, Record, Schema
+from repro.text.alphabet import TEXT_ALPHABET
+
+#: Shared q-gram scheme of all experiment attributes (bigrams, letters +
+#: digits + blank alphabet, unpadded — matching the paper's Figure 1 and
+#: the Table 3 statistics, where ``b ≈ avg_length - 1``).
+EXPERIMENT_SCHEME = QGramScheme(q=2, alphabet=TEXT_ALPHABET, padded=False)
+
+NCVR_SCHEMA = Schema(
+    tuple(
+        AttributeSpec(name, EXPERIMENT_SCHEME)
+        for name in ("FirstName", "LastName", "Address", "Town")
+    )
+)
+
+DBLP_SCHEMA = Schema(
+    tuple(
+        AttributeSpec(name, EXPERIMENT_SCHEME)
+        for name in ("FirstName", "LastName", "Title", "Year")
+    )
+)
+
+
+class _WeightedWords:
+    """A word list with sampling weights tilted to a target mean length."""
+
+    def __init__(self, words: tuple[str, ...], target_mean_length: float | None = None):
+        self.words = words
+        if target_mean_length is None:
+            self.weights = None
+        else:
+            self.weights = np.asarray(length_tilt(words, target_mean_length))
+
+    def sample(self, rng: np.random.Generator, size: int) -> list[str]:
+        indices = rng.choice(len(self.words), size=size, p=self.weights)
+        return [self.words[int(i)] for i in indices]
+
+    def one(self, rng: np.random.Generator) -> str:
+        return self.words[int(rng.choice(len(self.words), p=self.weights))]
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Target average string lengths per attribute (length = b + 1)."""
+
+    first_name: float
+    last_name: float
+    long_field: float  # Address (NCVR) or Title (DBLP)
+    short_field: float  # Town (NCVR); DBLP years are fixed 4 chars
+
+
+#: Length targets derived from Table 3's b values (length ≈ b + 1).
+NCVR_PROFILE = GeneratorProfile(first_name=6.1, last_name=6.0, long_field=21.0, short_field=8.2)
+DBLP_PROFILE = GeneratorProfile(first_name=5.8, last_name=7.2, long_field=65.8, short_field=4.0)
+
+
+class NCVRGenerator:
+    """Generate voter-registration-like records.
+
+    Attributes: FirstName, LastName, Address (``'123 MAPLE AVE [APT n]'``),
+    Town.
+
+    ``household_rate`` controls a key property of real voter files: family
+    members who share LastName, Address and Town but differ in FirstName.
+    These near-duplicate *non*-matches are what separates attribute-aware
+    linkage from record-level Jaccard methods (HARRA matches siblings and
+    early-prunes the true pair — the PC loss the paper reports).
+    """
+
+    def __init__(
+        self, profile: GeneratorProfile = NCVR_PROFILE, household_rate: float = 0.3
+    ):
+        if not 0.0 <= household_rate < 1.0:
+            raise ValueError(f"household_rate must be in [0, 1), got {household_rate}")
+        self.profile = profile
+        self.household_rate = household_rate
+        self._first = _WeightedWords(FIRST_NAMES, profile.first_name)
+        self._last = _WeightedWords(LAST_NAMES, profile.last_name)
+        self._street = _WeightedWords(STREET_NAMES, 7.8)
+        self._type = _WeightedWords(STREET_TYPES)
+        self._town = _WeightedWords(TOWNS, profile.short_field)
+
+    @property
+    def schema(self) -> Schema:
+        return NCVR_SCHEMA
+
+    def _address(self, rng: np.random.Generator) -> str:
+        number = int(rng.integers(1, 10000))
+        parts = [str(number), self._street.one(rng), self._type.one(rng)]
+        # Unit suffixes lift the average length to the Table 3 target
+        # (b ≈ 20 bigrams) the way real voter addresses do.
+        if rng.random() < 0.65:
+            parts.append(f"APT {int(rng.integers(1, 100))}")
+        return " ".join(parts)
+
+    def generate(self, n: int, seed: int | None = None, id_prefix: str = "N") -> Dataset:
+        """Generate ``n`` records, reproducibly under ``seed``."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        rng = np.random.default_rng(seed)
+        firsts = self._first.sample(rng, n)
+        lasts = self._last.sample(rng, n)
+        towns = self._town.sample(rng, n)
+        records: list[Record] = []
+        for i in range(n):
+            if records and rng.random() < self.household_rate:
+                # A family member of an earlier voter: new first name,
+                # shared last name / address / town.
+                relative = records[int(rng.integers(0, len(records)))]
+                values = (firsts[i], *relative.values[1:])
+            else:
+                values = (firsts[i], lasts[i], self._address(rng), towns[i])
+            records.append(Record(f"{id_prefix}{i}", values))
+        return Dataset(NCVR_SCHEMA, records, name="ncvr-like")
+
+
+class DBLPGenerator:
+    """Generate bibliography-like records.
+
+    Attributes: FirstName, LastName, Title (a plausible paper title around
+    66 characters), Year (4 digits, so exactly 3 bigrams as in Table 3).
+
+    ``coauthor_rate`` produces records sharing Title and Year with an
+    earlier record but naming a different author — the bibliographic
+    analogue of voter-file households.  A record-level bigram vector
+    cannot tell co-authors apart (the title's bigrams dominate), which is
+    exactly why the paper reports HARRA's PC "fell below 0.75" on DBLP.
+    """
+
+    def __init__(
+        self, profile: GeneratorProfile = DBLP_PROFILE, coauthor_rate: float = 0.25
+    ):
+        if not 0.0 <= coauthor_rate < 1.0:
+            raise ValueError(f"coauthor_rate must be in [0, 1), got {coauthor_rate}")
+        self.profile = profile
+        self.coauthor_rate = coauthor_rate
+        self._first = _WeightedWords(FIRST_NAMES, profile.first_name)
+        self._last = _WeightedWords(LAST_NAMES, profile.last_name)
+        self._word = _WeightedWords(TITLE_WORDS)
+
+    @property
+    def schema(self) -> Schema:
+        return DBLP_SCHEMA
+
+    def _title(self, rng: np.random.Generator) -> str:
+        # Append words until adding another would overshoot the target
+        # length by more than it undershoots; titles then average out near
+        # the Table 3 statistic (b ≈ 64.8 bigrams).
+        target = self.profile.long_field
+        words = [self._word.one(rng)]
+        length = len(words[0])
+        while True:
+            word = self._word.one(rng)
+            new_length = length + 1 + len(word)
+            if new_length > target and (new_length - target) > (target - length):
+                break
+            words.append(word)
+            length = new_length
+            if length >= target:
+                break
+        return " ".join(words)
+
+    def generate(self, n: int, seed: int | None = None, id_prefix: str = "D") -> Dataset:
+        """Generate ``n`` records, reproducibly under ``seed``."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        rng = np.random.default_rng(seed)
+        firsts = self._first.sample(rng, n)
+        lasts = self._last.sample(rng, n)
+        records: list[Record] = []
+        for i in range(n):
+            if records and rng.random() < self.coauthor_rate:
+                # A co-author entry: different author, same title and year.
+                paper = records[int(rng.integers(0, len(records)))]
+                values = (firsts[i], lasts[i], paper.values[2], paper.values[3])
+            else:
+                values = (
+                    firsts[i],
+                    lasts[i],
+                    self._title(rng),
+                    str(int(rng.integers(1970, 2016))),
+                )
+            records.append(Record(f"{id_prefix}{i}", values))
+        return Dataset(DBLP_SCHEMA, records, name="dblp-like")
+
+
+def average_qgram_counts(dataset: Dataset) -> dict[str, float]:
+    """Measured ``b^(f_i)`` per attribute (the Table 3 statistic)."""
+    out: dict[str, float] = {}
+    for spec in dataset.schema:
+        column = dataset.column(spec.name)
+        out[spec.name] = sum(spec.scheme.count(v) for v in column) / len(column)
+    return out

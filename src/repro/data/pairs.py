@@ -1,0 +1,118 @@
+"""Linkage problem construction: datasets A and B with ground truth.
+
+Following the paper's prototype (Section 6): dataset A holds ``n``
+generated records; each record of A is chosen with probability
+``match_probability`` (0.5 in the paper) to be perturbed under the active
+scheme and placed in B; B is then filled with fresh, unrelated records
+until it also holds ``n`` records.  The set of truly matching pairs ``M``
+and the per-pair perturbation logs are retained for evaluation
+(Figures 9-12 need PC/PQ/RR; Figure 11 needs the per-operation log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.perturb import AppliedOperation, Operation, PerturbationScheme
+from repro.data.schema import Dataset, Record
+
+
+@dataclass
+class LinkageProblem:
+    """Two datasets plus ground truth.
+
+    ``true_matches`` holds (row index in A, row index in B) pairs;
+    ``operation_log`` maps each true pair to the perturbation operations
+    that produced the B record.
+    """
+
+    dataset_a: Dataset
+    dataset_b: Dataset
+    true_matches: set[tuple[int, int]]
+    operation_log: dict[tuple[int, int], tuple[AppliedOperation, ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def n_true_matches(self) -> int:
+        return len(self.true_matches)
+
+    @property
+    def comparison_space(self) -> int:
+        """``|A x B|``, the denominator of the Reduction Ratio."""
+        return len(self.dataset_a) * len(self.dataset_b)
+
+    def matches_with_operation(self, operation: Operation) -> set[tuple[int, int]]:
+        """True pairs whose perturbation used the given operation at least once.
+
+        Figure 11 reports PC separately per operation type.
+        """
+        return {
+            pair
+            for pair, log in self.operation_log.items()
+            if any(entry.operation is operation for entry in log)
+        }
+
+
+def build_linkage_problem(
+    generator,
+    n: int,
+    scheme: PerturbationScheme,
+    match_probability: float = 0.5,
+    seed: int | None = None,
+) -> LinkageProblem:
+    """Generate a full linkage problem from a dataset generator.
+
+    Parameters
+    ----------
+    generator:
+        An object with ``generate(n, seed, id_prefix)`` returning a
+        :class:`~repro.data.schema.Dataset` (NCVRGenerator/DBLPGenerator).
+    n:
+        Number of records in A (and in B).
+    scheme:
+        The perturbation scheme (PL or PH).
+    match_probability:
+        Probability that a record of A gets a perturbed twin in B
+        (the paper uses 0.5).
+    seed:
+        Master seed; A-generation, selection, perturbation and B-filler
+        generation all derive from it.
+    """
+    if not 0.0 < match_probability <= 1.0:
+        raise ValueError(f"match_probability must be in (0, 1], got {match_probability}")
+    seed_seq = np.random.SeedSequence(seed)
+    seed_a, seed_sel, seed_fill = seed_seq.spawn(3)
+
+    dataset_a = generator.generate(n, seed=seed_a, id_prefix="A")
+    schema = dataset_a.schema
+
+    rng = np.random.default_rng(seed_sel)
+    chosen = np.flatnonzero(rng.random(n) < match_probability)
+
+    records_b: list[Record] = []
+    true_matches: set[tuple[int, int]] = set()
+    operation_log: dict[tuple[int, int], tuple[AppliedOperation, ...]] = {}
+    for row_b, row_a in enumerate(chosen):
+        source = dataset_a[int(row_a)]
+        perturbed, log = scheme.perturb(source, schema, rng, new_id=f"B{row_b}")
+        records_b.append(perturbed)
+        pair = (int(row_a), row_b)
+        true_matches.add(pair)
+        operation_log[pair] = log
+
+    n_fill = n - len(records_b)
+    if n_fill > 0:
+        filler = generator.generate(n_fill, seed=seed_fill, id_prefix="F")
+        for i, record in enumerate(filler):
+            records_b.append(Record(f"B{len(chosen) + i}", record.values))
+
+    dataset_b = Dataset(schema, records_b, name=f"{dataset_a.name}-B")
+    return LinkageProblem(
+        dataset_a=dataset_a,
+        dataset_b=dataset_b,
+        true_matches=true_matches,
+        operation_log=operation_log,
+    )

@@ -1,0 +1,143 @@
+"""Perturbation engine (Section 6, experimental settings).
+
+The paper's prototype extracts records and creates data sets A and B,
+"where one can specify the perturbation frequency, number of perturbation
+operations, and number of perturbed records".  Two schemes are used:
+
+* **PL** (light): one perturbation applied to one randomly chosen attribute;
+* **PH** (heavy): one perturbation to each of the first two attributes and
+  two perturbations to the third attribute.
+
+A perturbation is one Levenshtein edit operation — substitute, insert or
+delete a character — applied at a random position, staying inside the
+attribute's alphabet.  Every applied operation is logged so Figure 11's
+per-operation-type accuracy breakdown can be reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.schema import Record, Schema
+from repro.text.alphabet import Alphabet
+
+
+class Operation(enum.Enum):
+    """The basic Levenshtein perturbation operations (Section 5.1)."""
+
+    SUBSTITUTE = "substitute"
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+ALL_OPERATIONS = (Operation.SUBSTITUTE, Operation.INSERT, Operation.DELETE)
+
+
+def _random_letter(alphabet: Alphabet, rng: np.random.Generator, exclude: str = "") -> str:
+    """A uniformly chosen non-blank alphabet character, optionally != exclude."""
+    candidates = [ch for ch in alphabet.chars if ch not in (" ", "_") and ch != exclude]
+    return candidates[int(rng.integers(0, len(candidates)))]
+
+
+def apply_operation(
+    value: str, operation: Operation, alphabet: Alphabet, rng: np.random.Generator
+) -> str:
+    """Apply one edit operation to ``value`` at a random position.
+
+    Substitutions always change the character (edit distance strictly
+    grows); deletes on empty strings degrade to inserts so the operation
+    always has an effect.
+    """
+    if not value and operation is Operation.DELETE:
+        operation = Operation.INSERT
+    if not value and operation is Operation.SUBSTITUTE:
+        operation = Operation.INSERT
+
+    if operation is Operation.SUBSTITUTE:
+        pos = int(rng.integers(0, len(value)))
+        new_char = _random_letter(alphabet, rng, exclude=value[pos])
+        return value[:pos] + new_char + value[pos + 1 :]
+    if operation is Operation.INSERT:
+        pos = int(rng.integers(0, len(value) + 1))
+        return value[:pos] + _random_letter(alphabet, rng) + value[pos:]
+    # DELETE
+    pos = int(rng.integers(0, len(value)))
+    return value[:pos] + value[pos + 1 :]
+
+
+@dataclass(frozen=True)
+class AppliedOperation:
+    """Log entry: which operation hit which attribute of a record."""
+
+    attribute: str
+    operation: Operation
+
+
+@dataclass(frozen=True)
+class PerturbationScheme:
+    """How many operations to apply per attribute.
+
+    ``ops_per_attribute`` maps an attribute *index* to an operation count;
+    ``random_single`` instead applies one operation to one uniformly
+    chosen attribute (the PL scheme).
+    """
+
+    name: str
+    ops_per_attribute: Mapping[int, int] = field(default_factory=dict)
+    random_single: bool = False
+    operations: Sequence[Operation] = ALL_OPERATIONS
+
+    def __post_init__(self) -> None:
+        if self.random_single and self.ops_per_attribute:
+            raise ValueError("random_single excludes explicit per-attribute op counts")
+        if not self.random_single and not self.ops_per_attribute:
+            raise ValueError("specify ops_per_attribute or random_single")
+        for index, count in self.ops_per_attribute.items():
+            if count < 1:
+                raise ValueError(f"operation count for attribute {index} must be >= 1")
+
+    def total_operations(self, n_attributes: int) -> int:
+        if self.random_single:
+            return 1
+        return sum(self.ops_per_attribute.values())
+
+    def perturb(
+        self, record: Record, schema: Schema, rng: np.random.Generator, new_id: str
+    ) -> tuple[Record, tuple[AppliedOperation, ...]]:
+        """Perturbed copy of ``record`` plus the log of applied operations."""
+        values = list(record.values)
+        log: list[AppliedOperation] = []
+        if self.random_single:
+            plan = {int(rng.integers(0, schema.n_attributes)): 1}
+        else:
+            plan = dict(self.ops_per_attribute)
+        for index, count in sorted(plan.items()):
+            if index >= schema.n_attributes:
+                raise ValueError(
+                    f"scheme targets attribute index {index}, schema has "
+                    f"{schema.n_attributes} attributes"
+                )
+            spec = schema[index]
+            for __ in range(count):
+                operation = self.operations[int(rng.integers(0, len(self.operations)))]
+                values[index] = apply_operation(
+                    values[index], operation, spec.scheme.alphabet, rng
+                )
+                log.append(AppliedOperation(spec.name, operation))
+        return Record(new_id, tuple(values)), tuple(log)
+
+
+def scheme_pl(operations: Sequence[Operation] = ALL_OPERATIONS) -> PerturbationScheme:
+    """The light scheme PL: one operation on one random attribute."""
+    return PerturbationScheme(name="PL", random_single=True, operations=operations)
+
+
+def scheme_ph(operations: Sequence[Operation] = ALL_OPERATIONS) -> PerturbationScheme:
+    """The heavy scheme PH: one op on f1 and f2, two ops on f3."""
+    return PerturbationScheme(
+        name="PH", ops_per_attribute={0: 1, 1: 1, 2: 2}, operations=operations
+    )

@@ -1,0 +1,102 @@
+"""Terminal charts: render benchmark series without a plotting stack.
+
+The benchmark harness regenerates the paper's figures as text; these
+helpers add a visual layer — horizontal bar charts for method comparisons
+and fixed-height line charts for parameter sweeps — so a terminal run of
+``pytest benchmarks/`` reads like the original figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    max_value: float | None = None,
+    precision: int = 3,
+) -> str:
+    """Horizontal bars, one per labelled value.
+
+    >>> print(bar_chart({'cBV-HB': 0.98, 'HARRA': 0.49}, width=10))
+    cBV-HB |██████████ 0.98
+    HARRA  |█████      0.49
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    peak = max_value if max_value is not None else max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError(f"bar values must be >= 0, got {value} for {label!r}")
+        filled = min(value / peak, 1.0) * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if frac > 0 and whole < width:
+            bar += _BLOCKS[int(frac * (len(_BLOCKS) - 1))]
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)} {value:.{precision}g}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 8,
+    title: str = "",
+) -> str:
+    """A fixed-height dot chart of ``ys`` over evenly spaced ``xs``.
+
+    The y-axis is annotated with the minimum and maximum; each column is
+    one x-value.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} x-values for {len(ys)} y-values")
+    if not xs:
+        raise ValueError("series must be non-empty")
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    lo, hi = min(ys), max(ys)
+    span = hi - lo or 1.0
+    rows = [[" "] * len(ys) for __ in range(height)]
+    for col, y in enumerate(ys):
+        level = int((y - lo) / span * (height - 1))
+        rows[height - 1 - level][col] = "●"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(rows):
+        if i == 0:
+            label = f"{hi:8.3g} ┤"
+        elif i == height - 1:
+            label = f"{lo:8.3g} ┤"
+        else:
+            label = " " * 9 + "│"
+        lines.append(label + " ".join(row))
+    lines.append(" " * 9 + "└" + "─" * (2 * len(xs) - 1))
+    lines.append(" " * 10 + " ".join(f"{x:g}"[0] for x in xs))
+    return "\n".join(lines)
+
+
+def sparkline(ys: Sequence[float]) -> str:
+    """A one-line sparkline: ▁▂▃▅▇ for a quick trend read.
+
+    >>> sparkline([1, 2, 3, 2, 1])
+    '▁▄█▄▁'
+    """
+    if not ys:
+        raise ValueError("series must be non-empty")
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(ys), max(ys)
+    span = hi - lo or 1.0
+    return "".join(glyphs[int((y - lo) / span * (len(glyphs) - 1))] for y in ys)

@@ -1,0 +1,107 @@
+"""Threshold-sweep curves: quality as a function of the matching threshold.
+
+Given one blocking pass (candidates are threshold-independent), sweeping
+the matching threshold over the candidates' distances yields the whole
+PC / precision / F1 trade-off curve in one cheap pass — useful both for
+sanity-checking a derived threshold (``repro.rules.derive``) and for the
+classic precision/recall presentation of linkage quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Quality at one matching threshold."""
+
+    threshold: float
+    n_matches: int
+    true_positives: int
+    pairs_completeness: float
+    precision: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.pairs_completeness == 0.0:
+            return 0.0
+        return (
+            2.0 * self.precision * self.pairs_completeness
+            / (self.precision + self.pairs_completeness)
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdCurve:
+    """The full sweep, ordered by ascending threshold."""
+
+    points: tuple[ThresholdPoint, ...]
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def best_f1(self) -> ThresholdPoint:
+        """The point maximising F1 (ties broken toward lower thresholds)."""
+        return max(self.points, key=lambda p: (p.f1, -p.threshold))
+
+    def at(self, threshold: float) -> ThresholdPoint:
+        """The sweep point for the largest swept threshold <= ``threshold``."""
+        eligible = [p for p in self.points if p.threshold <= threshold]
+        if not eligible:
+            return ThresholdPoint(threshold, 0, 0, 0.0, 0.0)
+        return eligible[-1]
+
+
+def threshold_curve(
+    rows_a: np.ndarray,
+    rows_b: np.ndarray,
+    distances: np.ndarray,
+    truth: set[tuple[int, int]],
+    thresholds: np.ndarray | None = None,
+) -> ThresholdCurve:
+    """Sweep the matching threshold over one candidate set.
+
+    ``rows_a / rows_b / distances`` are the blocking stage's candidate
+    pairs with their (record-level) distances; ``truth`` is the ground
+    truth.  ``thresholds`` defaults to every distinct candidate distance.
+
+    The pairs completeness here is measured against all of ``truth`` —
+    pairs the blocking stage missed depress PC at every threshold, which
+    is the honest end-to-end curve.
+    """
+    if rows_a.shape != rows_b.shape or rows_a.shape != distances.shape:
+        raise ValueError("rows_a, rows_b and distances must be parallel arrays")
+    if not truth:
+        raise ValueError("truth must be non-empty")
+    is_true = np.asarray(
+        [(a, b) in truth for a, b in zip(rows_a.tolist(), rows_b.tolist())]
+    )
+    if thresholds is None:
+        thresholds = np.unique(distances) if distances.size else np.asarray([0.0])
+
+    order = np.argsort(distances, kind="stable")
+    sorted_distances = distances[order]
+    sorted_true = is_true[order] if is_true.size else np.empty(0, dtype=bool)
+    cumulative_true = np.cumsum(sorted_true)
+
+    points = []
+    n_truth = len(truth)
+    for threshold in np.asarray(thresholds, dtype=float):
+        n_matches = int(np.searchsorted(sorted_distances, threshold, side="right"))
+        true_positives = int(cumulative_true[n_matches - 1]) if n_matches else 0
+        points.append(
+            ThresholdPoint(
+                threshold=float(threshold),
+                n_matches=n_matches,
+                true_positives=true_positives,
+                pairs_completeness=true_positives / n_truth,
+                precision=true_positives / n_matches if n_matches else 0.0,
+            )
+        )
+    return ThresholdCurve(points=tuple(points))

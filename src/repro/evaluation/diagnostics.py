@@ -1,0 +1,94 @@
+"""Blocking diagnostics: bucket populations and selectivity.
+
+Section 4.2 argues that K "should be sufficiently large because otherwise
+the blocking keys will not reflect the variations of the bit sequences
+... The direct side-effect of this deficiency will be the generation of a
+small number of buckets in each T_l, which will be overpopulated by mostly
+dissimilar pairs."  These helpers quantify exactly that: per-K bucket
+statistics and the expected number of formulated pairs, so the K trade-off
+can be inspected rather than guessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamming.bitmatrix import BitMatrix
+from repro.hamming.lsh import HammingLSH
+
+
+@dataclass(frozen=True)
+class BlockingDiagnostics:
+    """Bucket statistics of one HB configuration on one dataset."""
+
+    k: int
+    n_tables: int
+    n_records: int
+    n_buckets: int
+    mean_bucket_size: float
+    max_bucket_size: int
+    gini: float
+    expected_pairs_per_table: float
+
+    @property
+    def selectivity(self) -> float:
+        """Buckets per record per table (1.0 = perfectly selective)."""
+        return self.n_buckets / (self.n_tables * self.n_records)
+
+
+def _gini(sizes: np.ndarray) -> float:
+    """Gini coefficient of the bucket-size distribution (0 = uniform)."""
+    if sizes.size == 0:
+        return 0.0
+    sorted_sizes = np.sort(sizes).astype(np.float64)
+    n = sorted_sizes.size
+    cumulative = np.cumsum(sorted_sizes)
+    if cumulative[-1] == 0:
+        return 0.0
+    return float((n + 1 - 2 * (cumulative / cumulative[-1]).sum()) / n)
+
+
+def diagnose_blocking(
+    matrix: BitMatrix,
+    k: int,
+    threshold: int,
+    delta: float = 0.1,
+    n_tables: int | None = None,
+    seed: int | None = None,
+) -> BlockingDiagnostics:
+    """Index ``matrix`` and measure the resulting bucket landscape."""
+    lsh = HammingLSH(
+        n_bits=matrix.n_bits, k=k, threshold=threshold, delta=delta,
+        n_tables=n_tables, seed=seed,
+    )
+    lsh.index(matrix)
+    sizes = np.concatenate([group.bucket_sizes() for group in lsh.groups])
+    # E[pairs] if the same key distribution holds for a same-sized dataset
+    # B: sum over buckets of size^2, averaged per table.
+    expected_pairs = float((sizes.astype(np.float64) ** 2).sum() / lsh.n_tables)
+    return BlockingDiagnostics(
+        k=k,
+        n_tables=lsh.n_tables,
+        n_records=matrix.n_rows,
+        n_buckets=int(sizes.size),
+        mean_bucket_size=float(sizes.mean()),
+        max_bucket_size=int(sizes.max()),
+        gini=_gini(sizes),
+        expected_pairs_per_table=expected_pairs,
+    )
+
+
+def selectivity_sweep(
+    matrix: BitMatrix,
+    k_values,
+    threshold: int,
+    delta: float = 0.1,
+    seed: int | None = None,
+) -> list[BlockingDiagnostics]:
+    """Diagnostics across a K sweep (the §4.2 overpopulation narrative)."""
+    return [
+        diagnose_blocking(matrix, k, threshold, delta=delta, seed=seed)
+        for k in k_values
+    ]

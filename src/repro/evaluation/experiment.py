@@ -1,0 +1,171 @@
+"""Experiment runner: repeated randomized trials with aggregation.
+
+The paper runs each experiment 50 times and plots averages.  The runner
+here executes ``n_trials`` linkage runs with derived seeds, evaluates each
+against the problem's ground truth and aggregates means and standard
+deviations of every quality measure and timing.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.data.pairs import LinkageProblem
+from repro.data.perturb import Operation
+from repro.evaluation.metrics import LinkageQuality, evaluate_linkage, subset_completeness
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One linkage run: its quality, wall-clock time and match set."""
+
+    seed: int
+    quality: LinkageQuality
+    elapsed: float
+    timings: dict[str, float]
+    matches: set[tuple[int, int]]
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated trials of one method on one problem."""
+
+    name: str
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def _values(self, measure: str) -> list[float]:
+        return [trial.quality.as_dict()[measure] for trial in self.trials]
+
+    def mean(self, measure: str) -> float:
+        """Mean of a quality measure ('PC', 'PQ', 'RR', 'F1', ...)."""
+        values = self._values(measure)
+        return statistics.fmean(values) if values else 0.0
+
+    def stdev(self, measure: str) -> float:
+        values = self._values(measure)
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    @property
+    def mean_pc(self) -> float:
+        return self.mean("PC")
+
+    @property
+    def mean_pq(self) -> float:
+        return self.mean("PQ")
+
+    @property
+    def mean_rr(self) -> float:
+        return self.mean("RR")
+
+    @property
+    def mean_time(self) -> float:
+        times = [trial.elapsed for trial in self.trials]
+        return statistics.fmean(times) if times else 0.0
+
+    def mean_stage_time(self, stage: str) -> float:
+        times = [trial.timings.get(stage, 0.0) for trial in self.trials]
+        return statistics.fmean(times) if times else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "PC": self.mean_pc,
+            "PQ": self.mean_pq,
+            "RR": self.mean_rr,
+            "F1": self.mean("F1"),
+            "time_s": self.mean_time,
+            "n_trials": float(self.n_trials),
+        }
+
+
+LinkerFactory = Callable[[int], object]
+
+
+def run_experiment(
+    name: str,
+    make_linker: LinkerFactory,
+    problem: LinkageProblem,
+    n_trials: int = 3,
+    base_seed: int = 0,
+) -> ExperimentResult:
+    """Run ``n_trials`` linkage runs of a freshly built linker per trial.
+
+    ``make_linker(seed)`` must return an object with
+    ``link(dataset_a, dataset_b) -> LinkageResult``; each trial gets seed
+    ``base_seed + trial_index`` so randomized hash draws differ while the
+    whole experiment stays reproducible.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    result = ExperimentResult(name=name)
+    for trial in range(n_trials):
+        seed = base_seed + trial
+        linker = make_linker(seed)
+        start = time.perf_counter()
+        linkage = linker.link(problem.dataset_a, problem.dataset_b)
+        elapsed = time.perf_counter() - start
+        quality = evaluate_linkage(
+            linkage.matches,
+            problem.true_matches,
+            linkage.n_candidates,
+            problem.comparison_space,
+        )
+        result.trials.append(
+            TrialResult(
+                seed=seed,
+                quality=quality,
+                elapsed=elapsed,
+                timings=dict(getattr(linkage, "timings", {})),
+                matches=linkage.matches,
+            )
+        )
+    return result
+
+
+def per_operation_completeness(
+    result: ExperimentResult, problem: LinkageProblem
+) -> dict[str, float]:
+    """Mean PC restricted to pairs perturbed by each operation (Figure 11)."""
+    out: dict[str, float] = {}
+    for operation in Operation:
+        subset = problem.matches_with_operation(operation)
+        if not subset:
+            continue
+        values = [subset_completeness(trial.matches, subset) for trial in result.trials]
+        out[operation.value] = statistics.fmean(values)
+    return out
+
+
+def sweep(
+    label_values: Iterable[tuple[str, object]],
+    make_linker: Callable[[object, int], object],
+    problem: LinkageProblem,
+    n_trials: int = 3,
+    base_seed: int = 0,
+) -> list[tuple[str, ExperimentResult]]:
+    """Parameter sweep: one experiment per (label, value) point.
+
+    ``make_linker(value, seed)`` builds the linker for one sweep point.
+    Used by the K-sweep (Figure 8a) and the confidence-r sweep (Figure 7).
+    """
+    results = []
+    for label, value in label_values:
+        results.append(
+            (
+                label,
+                run_experiment(
+                    name=label,
+                    make_linker=lambda seed, v=value: make_linker(v, seed),
+                    problem=problem,
+                    n_trials=n_trials,
+                    base_seed=base_seed,
+                ),
+            )
+        )
+    return results

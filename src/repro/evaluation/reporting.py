@@ -1,0 +1,61 @@
+"""Plain-text reporting: the tables and series the paper's figures plot.
+
+Benchmarks print the same rows/series a figure shows (method x measure),
+so a run of a benchmark file regenerates the corresponding artefact in
+textual form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 4
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are rounded to ``precision`` digits; everything else is
+    ``str()``-ed.
+
+    >>> print(format_table(['a', 'b'], [[1, 0.5], [22, 0.25]]))
+    a   | b
+    ----+-----
+    1   | 0.5
+    22  | 0.25
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], precision: int = 4) -> str:
+    """Render one figure series as ``name: x=y`` pairs, one per line."""
+    if len(xs) != len(ys):
+        raise ValueError(f"{len(xs)} x-values for {len(ys)} y-values")
+    lines = [f"series {name}:"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x} -> {y:.{precision}g}")
+    return "\n".join(lines)
+
+
+def banner(title: str, char: str = "=") -> str:
+    """A section banner for benchmark output."""
+    line = char * max(len(title), 8)
+    return f"{line}\n{title}\n{line}"

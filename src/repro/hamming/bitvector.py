@@ -1,0 +1,207 @@
+"""Fixed-width binary vectors in the Hamming space.
+
+A :class:`BitVector` is an element of ``{0, 1}^n``.  The implementation is
+backed by a single Python integer, which makes XOR + popcount Hamming
+distances (``int.bit_count``) both simple and fast, and keeps the structure
+"lightweight in terms of size" exactly as the paper's compact embeddings
+intend.  Bulk, dataset-level operations live in
+:mod:`repro.hamming.bitmatrix`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+
+class BitVector:
+    """An immutable fixed-width bit vector.
+
+    Bits are addressed ``0 .. n_bits-1``; bit ``j`` corresponds to position
+    ``j`` of the paper's q-gram vectors and c-vectors.
+
+    Examples
+    --------
+    >>> v = BitVector.from_indices(8, [1, 3])
+    >>> v.count()
+    2
+    >>> v.hamming(BitVector.from_indices(8, [3, 5]))
+    2
+    """
+
+    __slots__ = ("_bits", "_n")
+
+    def __init__(self, n_bits: int, value: int = 0):
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive, got {n_bits}")
+        if value < 0:
+            raise ValueError("bit value must be non-negative")
+        if value >> n_bits:
+            raise ValueError(f"value has bits beyond position {n_bits - 1}")
+        self._n = n_bits
+        self._bits = value
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, n_bits: int, indices: Iterable[int]) -> "BitVector":
+        """Build a vector with exactly the given positions set to 1."""
+        value = 0
+        for idx in indices:
+            if not 0 <= idx < n_bits:
+                raise IndexError(f"bit index {idx} out of range for width {n_bits}")
+            value |= 1 << idx
+        return cls(n_bits, value)
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Build a vector from an explicit 0/1 sequence (index order)."""
+        value = 0
+        n = 0
+        for n, bit in enumerate(bits, start=1):
+            if bit not in (0, 1):
+                raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+            if bit:
+                value |= 1 << (n - 1)
+        if n == 0:
+            raise ValueError("bits must be non-empty")
+        return cls(n, value)
+
+    @classmethod
+    def zeros(cls, n_bits: int) -> "BitVector":
+        return cls(n_bits, 0)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def n_bits(self) -> int:
+        return self._n
+
+    @property
+    def value(self) -> int:
+        """The underlying integer (bit ``j`` of the int is position ``j``)."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index: int) -> int:
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(f"bit index {index} out of range for width {self._n}")
+        return (self._bits >> index) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        for __ in range(self._n):
+            yield bits & 1
+            bits >>= 1
+
+    def indices(self) -> list[int]:
+        """Sorted positions that are set to 1."""
+        out = []
+        bits = self._bits
+        idx = 0
+        while bits:
+            if bits & 1:
+                out.append(idx)
+            bits >>= 1
+            idx += 1
+        return out
+
+    def count(self) -> int:
+        """Number of set positions (the vector's Hamming weight)."""
+        return self._bits.bit_count()
+
+    # -- algebra ------------------------------------------------------------
+
+    def _check_width(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeError(f"expected BitVector, got {type(other).__name__}")
+        if other._n != self._n:
+            raise ValueError(f"width mismatch: {self._n} vs {other._n}")
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._n, self._bits ^ other._bits)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._n, self._bits & other._bits)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self._n, self._bits | other._bits)
+
+    def hamming(self, other: "BitVector") -> int:
+        """Hamming distance: the number of differing positions (``d_H``)."""
+        self._check_width(other)
+        return (self._bits ^ other._bits).bit_count()
+
+    def set(self, index: int) -> "BitVector":
+        """Return a copy with position ``index`` set to 1."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"bit index {index} out of range for width {self._n}")
+        return BitVector(self._n, self._bits | (1 << index))
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """Concatenate: ``self`` occupies the low positions, ``other`` follows.
+
+        This is the paper's record-level construction: attribute-level
+        vectors concatenated into one vector of size ``sum(m^(f_i))``.
+        """
+        if not isinstance(other, BitVector):
+            raise TypeError(f"expected BitVector, got {type(other).__name__}")
+        return BitVector(self._n + other._n, self._bits | (other._bits << self._n))
+
+    def slice(self, start: int, stop: int) -> "BitVector":
+        """Positions ``start .. stop-1`` as a new vector."""
+        if not 0 <= start < stop <= self._n:
+            raise ValueError(f"invalid slice [{start}, {stop}) for width {self._n}")
+        width = stop - start
+        mask = (1 << width) - 1
+        return BitVector(width, (self._bits >> start) & mask)
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """Dense ``uint8`` array of the bits, index order."""
+        return np.fromiter(iter(self), dtype=np.uint8, count=self._n)
+
+    def to_packed(self) -> np.ndarray:
+        """Little-endian packed ``uint64`` words (bit ``j`` -> word ``j // 64``)."""
+        n_words = (self._n + 63) // 64
+        words = np.empty(n_words, dtype=np.uint64)
+        bits = self._bits
+        mask = (1 << 64) - 1
+        for w in range(n_words):
+            words[w] = bits & mask
+            bits >>= 64
+        return words
+
+    @classmethod
+    def from_packed(cls, words: np.ndarray, n_bits: int) -> "BitVector":
+        """Inverse of :meth:`to_packed`."""
+        value = 0
+        for w, word in enumerate(np.asarray(words, dtype=np.uint64)):
+            value |= int(word) << (64 * w)
+        mask = (1 << n_bits) - 1
+        return cls(n_bits, value & mask)
+
+    # -- dunder housekeeping --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._n == other._n and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._bits))
+
+    def __repr__(self) -> str:
+        shown = "".join(str(b) for b in self)
+        if self._n > 64:
+            shown = shown[:61] + "..."
+        return f"BitVector({self._n}, bits={shown})"

@@ -1,0 +1,88 @@
+"""Hamming distance helpers.
+
+The Hamming distance between two binary sequences is the number of
+positions in which they differ; it is the metric ``d_H`` on the embedding
+spaces H and H-hat throughout the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamming.bitvector import BitVector
+
+
+def hamming(v1: BitVector, v2: BitVector) -> int:
+    """Hamming distance between two equal-width bit vectors."""
+    return v1.hamming(v2)
+
+
+def hamming_int(x: int, y: int) -> int:
+    """Hamming distance between two non-negative integers' bit patterns.
+
+    >>> hamming_int(0b1010, 0b0110)
+    2
+    """
+    if x < 0 or y < 0:
+        raise ValueError("hamming_int expects non-negative integers")
+    return (x ^ y).bit_count()
+
+def hamming_packed(words_a: np.ndarray, words_b: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distance between two packed ``uint64`` arrays.
+
+    Both arguments must have the same shape ``(n, n_words)``; broadcasting a
+    single row against many is allowed (shape ``(n_words,)`` vs
+    ``(n, n_words)``).
+    """
+    xor = np.asarray(words_a, dtype=np.uint64) ^ np.asarray(words_b, dtype=np.uint64)
+    return np.bitwise_count(xor).sum(axis=-1).astype(np.int64)
+
+
+def masked_hamming_rows(
+    words_a: np.ndarray,
+    rows_a: np.ndarray,
+    words_b: np.ndarray,
+    rows_b: np.ndarray,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Hamming distance restricted to bit positions ``[start, stop)``.
+
+    Operates on packed ``uint64`` word arrays of two matrices and parallel
+    row-index arrays: XOR the touched words, mask the partial words at the
+    range boundaries, popcount.  This is how attribute-level distances are
+    read out of concatenated record-level vectors.
+    """
+    if not 0 <= start < stop:
+        raise ValueError(f"invalid bit range [{start}, {stop})")
+    w_lo, o_lo = divmod(start, 64)
+    w_hi, o_hi = divmod(stop, 64)
+    last_word = w_hi if o_hi else w_hi - 1
+    xor = words_a[rows_a, w_lo : last_word + 1] ^ words_b[rows_b, w_lo : last_word + 1]
+    if xor.ndim == 1:
+        xor = xor[:, None]
+    xor = xor.copy()
+    if o_lo:
+        xor[:, 0] &= ~np.uint64((1 << o_lo) - 1)
+    if o_hi and last_word == w_hi:
+        xor[:, -1] &= np.uint64((1 << o_hi) - 1)
+    return np.bitwise_count(xor).sum(axis=1).astype(np.int64)
+
+
+def normalized_hamming(v1: BitVector, v2: BitVector) -> float:
+    """Hamming distance divided by the vector width (a value in ``[0, 1]``)."""
+    return v1.hamming(v2) / v1.n_bits
+
+
+def jaccard_distance_sets(set_a: frozenset | set, set_b: frozenset | set) -> float:
+    """Jaccard distance ``1 - |A ∩ B| / |A ∪ B|`` between two index sets.
+
+    Used by Section 5.1's comparison against the Jaccard space J (the space
+    of q-gram index sets ``U_s``) and by the HARRA baseline.  The distance
+    between two empty sets is defined as 0.
+    """
+    if not set_a and not set_b:
+        return 0.0
+    inter = len(set_a & set_b)
+    union = len(set_a | set_b)
+    return 1.0 - inter / union

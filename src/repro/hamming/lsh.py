@@ -1,0 +1,291 @@
+"""Hamming LSH blocking/matching — the HB mechanism (Section 4.2).
+
+``HB`` maintains ``L`` independent blocking groups (hash tables ``T_l``).
+Each group owns a composite hash function ``h_l`` made of ``K`` base hash
+functions; a base hash function returns the value of one uniformly sampled
+bit position of the input vector.  The concatenated ``K`` bits form the
+blocking key, which addresses a bucket holding record identifiers.
+
+Matching (Algorithm 2) scans, for each query vector, the buckets it hashes
+to across all groups, de-duplicates the retrieved identifiers, and hands
+each unique pair to a classification rule (here: a distance threshold or a
+:mod:`repro.rules` AST).
+
+The implementation is vectorised: blocking keys for a whole
+:class:`~repro.hamming.bitmatrix.BitMatrix` are produced per group with one
+column gather, and the candidate-pair stream is de-duplicated with one
+``numpy.unique`` over encoded pair ids — semantically identical to
+Algorithm 2's ``UniqueCollection`` but dataset-at-a-time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamming.bitmatrix import BitMatrix
+from repro.hamming.bitvector import BitVector
+from repro.hamming.theory import hamming_lsh_parameters
+
+
+def _pack_keys(bit_columns: np.ndarray) -> np.ndarray:
+    """Collapse an ``(n, K)`` 0/1 array into one hashable key per row.
+
+    Keys are the rows packed into bytes via ``numpy.packbits``, then viewed
+    as a void dtype so ``np.unique``/dict grouping treat each row as one
+    scalar.  For ``K <= 64`` a plain integer key is used instead, which is
+    faster to group.
+    """
+    n, k = bit_columns.shape
+    if k <= 64:
+        weights = (np.uint64(1) << np.arange(k, dtype=np.uint64))[None, :]
+        return (bit_columns.astype(np.uint64) * weights).sum(axis=1)
+    packed = np.packbits(bit_columns, axis=1)
+    return packed.view([("", packed.dtype)] * packed.shape[1]).ravel()
+
+
+@dataclass(frozen=True)
+class CompositeHash:
+    """A composite hash function ``h_l``: ``K`` sampled bit positions."""
+
+    positions: tuple[int, ...]
+
+    def key_for(self, vector: BitVector) -> int:
+        """Blocking key of a single vector (low-endian packed sample bits)."""
+        key = 0
+        for rank, pos in enumerate(self.positions):
+            key |= vector[pos] << rank
+        return key
+
+    def keys_for(self, matrix: BitMatrix) -> np.ndarray:
+        """Blocking keys for every row of ``matrix`` (vectorised)."""
+        return _pack_keys(matrix.columns(list(self.positions)))
+
+
+class BlockingGroup:
+    """One blocking group ``T_l``: a composite hash plus its bucket table."""
+
+    def __init__(self, composite: CompositeHash):
+        self.composite = composite
+        self._buckets: dict[object, list[int]] = {}
+
+    def insert_matrix(self, matrix: BitMatrix) -> None:
+        """Hash every row of ``matrix`` into the buckets (ids are row indices)."""
+        keys = self.composite.keys_for(matrix)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+        for b, start in enumerate(boundaries):
+            stop = boundaries[b + 1] if b + 1 < len(boundaries) else len(sorted_keys)
+            key = sorted_keys[start].item() if sorted_keys.dtype != object else sorted_keys[start]
+            self._buckets.setdefault(key, []).extend(order[start:stop].tolist())
+
+    def insert(self, vector: BitVector, record_id: int) -> None:
+        """Insert a single vector (streaming API)."""
+        self._buckets.setdefault(self.composite.key_for(vector), []).append(record_id)
+
+    def bucket(self, key: object) -> list[int]:
+        """The id list stored under ``key`` (empty when absent)."""
+        return self._buckets.get(key, [])
+
+    def probe(self, vector: BitVector) -> list[int]:
+        """Ids sharing this group's bucket with ``vector``."""
+        return self.bucket(self.composite.key_for(vector))
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of all buckets — used for selectivity diagnostics."""
+        return np.asarray([len(ids) for ids in self._buckets.values()], dtype=np.int64)
+
+
+class HammingLSH:
+    """The HB blocking/matching mechanism over a compact Hamming space.
+
+    Parameters
+    ----------
+    n_bits:
+        Width of the embedded vectors.
+    k:
+        Number of base hash functions per composite hash (``K``).
+    threshold:
+        Hamming distance ``theta`` defining "similar".  Used to derive the
+        optimal ``L`` via Equation (2) unless ``n_tables`` overrides it.
+    delta:
+        Allowed miss probability (``1 - delta`` recall guarantee).
+    n_tables:
+        Explicit ``L``; when ``None`` it is computed from Equation (2).
+    seed:
+        Seed for sampling the base hash positions.
+
+    Examples
+    --------
+    >>> lsh = HammingLSH(n_bits=120, k=30, threshold=4, delta=0.1, seed=7)
+    >>> lsh.n_tables
+    6
+    """
+
+    def __init__(
+        self,
+        n_bits: int,
+        k: int,
+        threshold: int | None = None,
+        delta: float = 0.1,
+        n_tables: int | None = None,
+        seed: int | None = None,
+    ):
+        if k < 1:
+            raise ValueError(f"K must be >= 1, got {k}")
+        if threshold is None and n_tables is None:
+            raise ValueError("provide threshold (for Equation 2) or an explicit n_tables")
+        self.n_bits = n_bits
+        self.k = k
+        self.threshold = threshold
+        self.delta = delta
+        if n_tables is None:
+            __, n_tables = hamming_lsh_parameters(threshold, n_bits, k, delta)
+        if n_tables < 1:
+            raise ValueError(f"L must be >= 1, got {n_tables}")
+        rng = np.random.default_rng(seed)
+        self.groups = [
+            BlockingGroup(
+                CompositeHash(tuple(int(b) for b in rng.integers(0, n_bits, size=k)))
+            )
+            for __ in range(n_tables)
+        ]
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.groups)
+
+    # -- indexing ---------------------------------------------------------------
+
+    def index(self, matrix: BitMatrix) -> None:
+        """Store every row of ``matrix`` (dataset A) in all blocking groups."""
+        if matrix.n_bits != self.n_bits:
+            raise ValueError(f"width mismatch: matrix {matrix.n_bits} vs LSH {self.n_bits}")
+        for group in self.groups:
+            group.insert_matrix(matrix)
+
+    def insert(self, vector: BitVector, record_id: int) -> None:
+        """Streaming insert of a single record."""
+        if vector.n_bits != self.n_bits:
+            raise ValueError(f"width mismatch: vector {vector.n_bits} vs LSH {self.n_bits}")
+        for group in self.groups:
+            group.insert(vector, record_id)
+
+    # -- candidate generation ------------------------------------------------------
+
+    def query(self, vector: BitVector) -> list[int]:
+        """Unique indexed ids co-bucketed with ``vector`` in any group.
+
+        This is Algorithm 2's outer loop for one query record, including
+        its ``UniqueCollection`` de-duplication.
+        """
+        seen: set[int] = set()
+        out: list[int] = []
+        for group in self.groups:
+            for rid in group.probe(vector):
+                if rid not in seen:
+                    seen.add(rid)
+                    out.append(rid)
+        return out
+
+    def candidate_pairs(self, matrix_b: BitMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """De-duplicated candidate pairs between the indexed dataset and ``matrix_b``.
+
+        Returns parallel arrays ``(rows_a, rows_b)``.  Pairs co-bucketed in
+        several groups appear once (Algorithm 2's de-duplication).
+        """
+        if matrix_b.n_bits != self.n_bits:
+            raise ValueError(f"width mismatch: matrix {matrix_b.n_bits} vs LSH {self.n_bits}")
+        chunks: list[np.ndarray] = []
+        n_b = matrix_b.n_rows
+        for pairs in self._pairs_per_group(matrix_b):
+            chunks.append(pairs)
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        encoded = np.unique(np.concatenate(chunks))
+        return encoded // n_b, encoded % n_b
+
+    def candidate_pairs_per_group(
+        self, matrix_b: BitMatrix
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Per-group candidate pairs (no cross-group de-duplication).
+
+        Used by iterative baselines (HARRA) that block and match one table
+        at a time.
+        """
+        n_b = matrix_b.n_rows
+        for pairs in self._pairs_per_group(matrix_b):
+            yield pairs // n_b, pairs % n_b
+
+    def _pairs_per_group(self, matrix_b: BitMatrix) -> Iterator[np.ndarray]:
+        """Encoded pairs ``a * n_B + b`` for each blocking group in turn."""
+        n_b = matrix_b.n_rows
+        for group in self.groups:
+            keys_b = group.composite.keys_for(matrix_b)
+            order = np.argsort(keys_b, kind="stable")
+            sorted_keys = keys_b[order]
+            boundaries = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+            parts: list[np.ndarray] = []
+            for i, start in enumerate(boundaries):
+                stop = boundaries[i + 1] if i + 1 < len(boundaries) else len(sorted_keys)
+                key = sorted_keys[start].item() if sorted_keys.dtype != object else sorted_keys[start]
+                ids_a = group.bucket(key)
+                if not ids_a:
+                    continue
+                rows_b = order[start:stop]
+                rows_a = np.asarray(ids_a, dtype=np.int64)
+                grid_a = np.repeat(rows_a, len(rows_b))
+                grid_b = np.tile(rows_b, len(rows_a))
+                parts.append(grid_a * n_b + grid_b)
+            yield np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+    # -- matching ------------------------------------------------------------------
+
+    def match(
+        self,
+        matrix_a: BitMatrix,
+        matrix_b: BitMatrix,
+        threshold: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Block ``matrix_b`` against the index and verify with ``d_H <= threshold``.
+
+        ``matrix_a`` must be the matrix previously passed to :meth:`index`.
+        Returns ``(rows_a, rows_b, distances)`` for the accepted pairs.
+        """
+        if threshold is None:
+            threshold = self.threshold
+        if threshold is None:
+            raise ValueError("no matching threshold available")
+        rows_a, rows_b = self.candidate_pairs(matrix_b)
+        if rows_a.size == 0:
+            return rows_a, rows_b, np.empty(0, dtype=np.int64)
+        distances = matrix_a.hamming_rows(rows_a, matrix_b, rows_b)
+        keep = distances <= threshold
+        return rows_a[keep], rows_b[keep], distances[keep]
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Bucket statistics across groups (selectivity diagnostics)."""
+        sizes = np.concatenate([g.bucket_sizes() for g in self.groups]) if self.groups else np.empty(0)
+        if sizes.size == 0:
+            return {"n_tables": float(self.n_tables), "n_buckets": 0.0, "mean_bucket": 0.0, "max_bucket": 0.0}
+        return {
+            "n_tables": float(self.n_tables),
+            "n_buckets": float(sizes.size),
+            "mean_bucket": float(sizes.mean()),
+            "max_bucket": float(sizes.max()),
+        }
+
+
+def sample_positions(n_bits: int, k: int, rng: np.random.Generator) -> tuple[int, ...]:
+    """Sample ``K`` base-hash bit positions uniformly (with replacement)."""
+    return tuple(int(b) for b in rng.integers(0, n_bits, size=k))

@@ -1,0 +1,99 @@
+"""Analytical guarantees of Hamming LSH blocking (Section 4.2).
+
+These functions implement the quantitative backbone of the paper:
+
+* the success probability ``p = 1 - theta / m`` of a single base hash
+  function for vectors within Hamming distance ``theta`` (Definition 3);
+* the composite collision probability ``p^K``;
+* Equation (2), the optimal number of blocking groups
+  ``L = ceil(ln(delta) / ln(1 - p^K))`` that guarantees each similar pair
+  is identified with probability at least ``1 - delta``;
+* the resulting recall lower bound ``1 - (1 - p^K)^L``.
+
+The same machinery is reused by the rule-aware blocking of Section 5.4 by
+substituting the AND/OR/NOT collision probabilities (Definitions 4-6) for
+``p^K`` — see :mod:`repro.rules.probability`.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def base_success_probability(threshold: int, n_bits: int) -> float:
+    """``p = 1 - theta / m``: probability that one uniformly sampled bit agrees.
+
+    For two vectors at Hamming distance at most ``threshold`` out of
+    ``n_bits`` positions, a uniformly chosen position matches with at least
+    this probability (Definition 3).
+
+    >>> base_success_probability(4, 120)  # doctest: +ELLIPSIS
+    0.966...
+    """
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    if not 0 <= threshold <= n_bits:
+        raise ValueError(f"threshold must be in [0, {n_bits}], got {threshold}")
+    return 1.0 - threshold / n_bits
+
+
+def composite_collision_probability(p: float, k: int) -> float:
+    """``p^K``: probability that all ``K`` base hash functions agree.
+
+    >>> round(composite_collision_probability(0.9667, 30), 3)
+    0.362
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be a probability, got {p}")
+    if k < 1:
+        raise ValueError(f"K must be >= 1, got {k}")
+    return p**k
+
+
+def optimal_table_count(collision_probability: float, delta: float = 0.1) -> int:
+    """Equation (2): ``L = ceil(ln(delta) / ln(1 - p_h))``.
+
+    ``collision_probability`` is the per-table probability ``p_h`` that a
+    similar pair lands in the same bucket (``p^K`` for record-level HB, or
+    the rule-aware bound of Definitions 4-6).  The returned ``L`` makes the
+    miss probability at most ``delta``.
+
+    >>> p = base_success_probability(4, 120) ** 30
+    >>> optimal_table_count(p, delta=0.1)
+    6
+    >>> p = base_success_probability(4, 267) ** 30
+    >>> optimal_table_count(p, delta=0.1)
+    3
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if not 0.0 <= collision_probability <= 1.0:
+        raise ValueError(f"collision probability must be in [0, 1], got {collision_probability}")
+    if collision_probability >= 1.0:
+        return 1
+    if collision_probability <= 0.0:
+        raise ValueError("collision probability 0 cannot satisfy any recall guarantee")
+    return math.ceil(math.log(delta) / math.log(1.0 - collision_probability))
+
+
+def recall_lower_bound(collision_probability: float, n_tables: int) -> float:
+    """``1 - (1 - p_h)^L``: guaranteed probability of finding a similar pair.
+
+    >>> p = base_success_probability(4, 120) ** 30
+    >>> recall_lower_bound(p, 6) >= 0.9
+    True
+    """
+    if not 0.0 <= collision_probability <= 1.0:
+        raise ValueError(f"collision probability must be in [0, 1], got {collision_probability}")
+    if n_tables < 1:
+        raise ValueError(f"L must be >= 1, got {n_tables}")
+    return 1.0 - (1.0 - collision_probability) ** n_tables
+
+
+def hamming_lsh_parameters(
+    threshold: int, n_bits: int, k: int, delta: float = 0.1
+) -> tuple[float, int]:
+    """Convenience bundle: ``(p^K, L)`` for a record-level HB configuration."""
+    p = base_success_probability(threshold, n_bits)
+    p_composite = composite_collision_probability(p, k)
+    return p_composite, optimal_table_count(p_composite, delta)

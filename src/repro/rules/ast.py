@@ -1,0 +1,183 @@
+"""Classification-rule AST (Sections 5.3-5.4).
+
+A matching decision model in the paper is a boolean *classification rule*
+over attribute-level distance predicates ``u^(f_i) <= theta^(f_i)``, combined
+with AND / OR / NOT.  The same AST drives two things:
+
+* the **matching step** — evaluated against measured per-attribute Hamming
+  distances (vectorised over candidate-pair arrays);
+* the **blocking step** — compiled into rule-aware blocking structures by
+  :mod:`repro.rules.blocking` using the probability bounds of
+  :mod:`repro.rules.probability`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+DistanceMap = Mapping[str, "np.ndarray | int | float"]
+
+
+class RuleError(ValueError):
+    """Raised for malformed rules."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Base class for rule nodes."""
+
+    def evaluate(self, distances: DistanceMap) -> np.ndarray | bool:
+        """Evaluate against per-attribute distances (scalar or arrays)."""
+        raise NotImplementedError
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names referenced by this rule."""
+        raise NotImplementedError
+
+    def comparisons(self) -> tuple["Comparison", ...]:
+        """All leaf comparisons, left-to-right."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Rule") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Rule") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Rule):
+    """A distance predicate ``u^(attribute) <= threshold``."""
+
+    attribute: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise RuleError("comparison needs an attribute name")
+        if self.threshold < 0:
+            raise RuleError(f"threshold must be >= 0, got {self.threshold}")
+
+    def evaluate(self, distances: DistanceMap) -> np.ndarray | bool:
+        try:
+            value = distances[self.attribute]
+        except KeyError:
+            raise RuleError(f"no distance supplied for attribute {self.attribute!r}") from None
+        return np.asarray(value) <= self.threshold if not np.isscalar(value) else value <= self.threshold
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def comparisons(self) -> tuple["Comparison", ...]:
+        return (self,)
+
+    def __str__(self) -> str:
+        threshold = int(self.threshold) if float(self.threshold).is_integer() else self.threshold
+        return f"({self.attribute} <= {threshold})"
+
+
+def _as_children(children: Sequence[Rule]) -> tuple[Rule, ...]:
+    out = tuple(children)
+    if len(out) < 2:
+        raise RuleError("AND/OR needs at least two operands")
+    for child in out:
+        if not isinstance(child, Rule):
+            raise RuleError(f"rule operands must be Rule nodes, got {type(child).__name__}")
+    return out
+
+
+@dataclass(frozen=True)
+class And(Rule):
+    """Conjunction: every child predicate must hold (Definition 4)."""
+
+    children: tuple[Rule, ...]
+
+    def __init__(self, children: Sequence[Rule]):
+        object.__setattr__(self, "children", _as_children(children))
+
+    def evaluate(self, distances: DistanceMap) -> np.ndarray | bool:
+        result = self.children[0].evaluate(distances)
+        for child in self.children[1:]:
+            result = result & child.evaluate(distances)
+        return result
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(c.attributes() for c in self.children))
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(cmp for c in self.children for cmp in c.comparisons())
+
+    def __str__(self) -> str:
+        return "[" + " & ".join(str(c) for c in self.children) + "]"
+
+
+@dataclass(frozen=True)
+class Or(Rule):
+    """Disjunction: at least one child predicate must hold (Definition 5)."""
+
+    children: tuple[Rule, ...]
+
+    def __init__(self, children: Sequence[Rule]):
+        object.__setattr__(self, "children", _as_children(children))
+
+    def evaluate(self, distances: DistanceMap) -> np.ndarray | bool:
+        result = self.children[0].evaluate(distances)
+        for child in self.children[1:]:
+            result = result | child.evaluate(distances)
+        return result
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(c.attributes() for c in self.children))
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(cmp for c in self.children for cmp in c.comparisons())
+
+    def __str__(self) -> str:
+        return "[" + " | ".join(str(c) for c in self.children) + "]"
+
+
+@dataclass(frozen=True)
+class Not(Rule):
+    """Negation: the child predicate must *not* hold (Definition 6)."""
+
+    child: Rule
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Rule):
+            raise RuleError(f"NOT operand must be a Rule node, got {type(self.child).__name__}")
+
+    def evaluate(self, distances: DistanceMap) -> np.ndarray | bool:
+        result = self.child.evaluate(distances)
+        return ~result if isinstance(result, np.ndarray) else not result
+
+    def attributes(self) -> frozenset[str]:
+        return self.child.attributes()
+
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return self.child.comparisons()
+
+    def __str__(self) -> str:
+        return f"!{self.child}"
+
+
+def comparison(attribute: str, threshold: float) -> Comparison:
+    """Shorthand constructor: ``comparison('f1', 4)`` is ``u^(f1) <= 4``."""
+    return Comparison(attribute, threshold)
+
+
+def conjunction(thresholds: Mapping[str, float]) -> Rule:
+    """AND of one comparison per mapping entry (a common rule shape).
+
+    >>> str(conjunction({'f1': 4, 'f2': 8}))
+    '[(f1 <= 4) & (f2 <= 8)]'
+    """
+    if not thresholds:
+        raise RuleError("thresholds must be non-empty")
+    comparisons = [Comparison(a, t) for a, t in thresholds.items()]
+    return comparisons[0] if len(comparisons) == 1 else And(comparisons)

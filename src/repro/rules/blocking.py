@@ -1,0 +1,350 @@
+"""Attribute-level, rule-aware LSH blocking (Section 5.4).
+
+The standard HB mechanism samples bits uniformly from the whole
+record-level c-vector and is therefore blind to the classification rule
+applied during matching.  The rule-aware blocker compiles the rule AST into
+*blocking structures*:
+
+* an **AND** group of comparisons becomes one structure whose composite
+  keys concatenate ``K^(f_i)`` bits sampled *within each attribute's bit
+  range*, with ``L`` from Equation (2) using the product bound
+  (Definition 4) — e.g. L=178 for the paper's NCVR rule C1;
+* an **OR** builds an independent structure per arm (``L x n_c`` hash
+  tables), with the shared ``L`` from the inclusion-exclusion bound
+  (Definition 5); a pair is formulated when it appears in *any* arm;
+* a **NOT** keeps its child's structure unmodified — only the outcome is
+  inverted ("we just change what we consider as a true outcome"): a pair
+  passes when it is *not* formulated there.  NOT therefore cannot generate
+  candidates and is only valid alongside a positive conjunct;
+* compound rules (paper's C1-C3 compositions) nest these plans; AND over
+  sub-plans intersects their formulated-pair sets, OR unions them.
+
+After blocking, the matching step evaluates the *actual* rule on measured
+per-attribute Hamming distances of the candidate pairs (Algorithm 2 with
+the rule as the classification function).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.encoder import RecordEncoder
+from repro.hamming.bitmatrix import BitMatrix
+from repro.hamming.lsh import BlockingGroup, CompositeHash
+from repro.rules.ast import And, Comparison, Not, Or, Rule, RuleError
+from repro.rules.probability import (
+    AttributeParams,
+    rule_collision_probability,
+    rule_table_count,
+)
+
+
+@dataclass(frozen=True)
+class StructureInfo:
+    """Descriptive summary of one compiled blocking structure."""
+
+    rule: str
+    attributes: tuple[str, ...]
+    n_tables: int
+    collision_probability: float
+
+
+class _Structure:
+    """One blocking structure: ``L`` groups with compound attribute-level keys."""
+
+    def __init__(
+        self,
+        comparisons: tuple[Comparison, ...],
+        encoder: RecordEncoder,
+        params: Mapping[str, AttributeParams],
+        n_tables: int,
+        rng: np.random.Generator,
+    ):
+        if not comparisons:
+            raise RuleError("blocking structure needs at least one comparison")
+        self.comparisons = comparisons
+        self.groups: list[BlockingGroup] = []
+        for __ in range(n_tables):
+            positions: list[int] = []
+            for cmp in comparisons:
+                layout = encoder.layout(cmp.attribute)
+                k = params[cmp.attribute].k
+                sampled = rng.integers(layout.offset, layout.stop, size=k)
+                positions.extend(int(b) for b in sampled)
+            self.groups.append(BlockingGroup(CompositeHash(tuple(positions))))
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.groups)
+
+    def index(self, matrix: BitMatrix) -> None:
+        for group in self.groups:
+            group.insert_matrix(matrix)
+
+    def members(self, matrix_b: BitMatrix) -> np.ndarray:
+        """Sorted unique encoded pairs ``a * n_B + b`` formulated in any table."""
+        n_b = matrix_b.n_rows
+        parts: list[np.ndarray] = []
+        for group in self.groups:
+            keys_b = group.composite.keys_for(matrix_b)
+            order = np.argsort(keys_b, kind="stable")
+            sorted_keys = keys_b[order]
+            boundaries = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+            for i, start in enumerate(boundaries):
+                stop = boundaries[i + 1] if i + 1 < len(boundaries) else len(sorted_keys)
+                key = sorted_keys[start].item() if sorted_keys.dtype != object else sorted_keys[start]
+                ids_a = group.bucket(key)
+                if not ids_a:
+                    continue
+                rows_b = order[start:stop]
+                rows_a = np.asarray(ids_a, dtype=np.int64)
+                parts.append(
+                    (np.repeat(rows_a, len(rows_b)) * n_b + np.tile(rows_b, len(rows_a)))
+                )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+
+class _Plan:
+    """Base class of compiled blocking plans."""
+
+    structures: list[_Structure]
+
+    def members(self, matrix_b: BitMatrix) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _LeafPlan(_Plan):
+    def __init__(self, structure: _Structure):
+        self.structure = structure
+        self.structures = [structure]
+
+    def members(self, matrix_b: BitMatrix) -> np.ndarray:
+        return self.structure.members(matrix_b)
+
+
+class _OrPlan(_Plan):
+    def __init__(self, children: list[_Plan]):
+        self.children = children
+        self.structures = [s for child in children for s in child.structures]
+
+    def members(self, matrix_b: BitMatrix) -> np.ndarray:
+        out = self.children[0].members(matrix_b)
+        for child in self.children[1:]:
+            out = np.union1d(out, child.members(matrix_b))
+        return out
+
+
+class _AndPlan(_Plan):
+    def __init__(self, positives: list[_Plan], negatives: list[_Plan]):
+        if not positives:
+            raise RuleError("a conjunction needs at least one positive (non-NOT) operand")
+        self.positives = positives
+        self.negatives = negatives
+        self.structures = [
+            s for plan in (*positives, *negatives) for s in plan.structures
+        ]
+
+    def members(self, matrix_b: BitMatrix) -> np.ndarray:
+        out = self.positives[0].members(matrix_b)
+        for plan in self.positives[1:]:
+            out = np.intersect1d(out, plan.members(matrix_b), assume_unique=True)
+        for plan in self.negatives:
+            out = np.setdiff1d(out, plan.members(matrix_b), assume_unique=True)
+        return out
+
+
+class RuleAwareBlocker:
+    """Rule-aware attribute-level LSH blocking/matching (cBV-HB, Section 5.4).
+
+    Parameters
+    ----------
+    rule:
+        The classification rule (AST from :mod:`repro.rules.ast` or
+        :func:`repro.rules.parser.parse_rule`).
+    encoder:
+        The calibrated :class:`~repro.core.encoder.RecordEncoder`; attribute
+        names of the rule must match the encoder's.
+    k:
+        ``K^(f_i)`` per attribute appearing in the rule.
+    delta:
+        Miss probability for Equation (2).
+    n_tables:
+        Explicit per-structure table budget, overriding Equation (2) for
+        the positive structures (NOT exclusion structures keep their
+        Definition 6 sizing).  Used by equal-budget comparisons such as
+        the Figure 6 benchmark.
+    seed:
+        Seed for sampling the base-hash bit positions.
+
+    Examples
+    --------
+    >>> from repro.core.cvector import CVectorEncoder
+    >>> from repro.rules.parser import parse_rule
+    >>> enc = RecordEncoder([CVectorEncoder(15, seed=0), CVectorEncoder(15, seed=1),
+    ...                      CVectorEncoder(68, seed=2)])
+    >>> blocker = RuleAwareBlocker(parse_rule('(f1<=4) & (f2<=4) & (f3<=8)'),
+    ...                            enc, k={'f1': 5, 'f2': 5, 'f3': 10}, seed=9)
+    >>> blocker.total_tables
+    178
+    """
+
+    def __init__(
+        self,
+        rule: Rule,
+        encoder: RecordEncoder,
+        k: Mapping[str, int],
+        delta: float = 0.1,
+        n_tables: int | None = None,
+        seed: int | None = None,
+    ):
+        self.rule = rule
+        self.encoder = encoder
+        self.delta = delta
+        self._n_tables_override = n_tables
+        self.params: dict[str, AttributeParams] = {}
+        for attribute in sorted(rule.attributes()):
+            if attribute not in k:
+                raise RuleError(f"no K supplied for attribute {attribute!r}")
+            layout = encoder.layout(attribute)
+            self.params[attribute] = AttributeParams(m=layout.width, k=k[attribute])
+        for cmp in rule.comparisons():
+            if cmp.threshold > encoder.layout(cmp.attribute).width:
+                raise RuleError(
+                    f"threshold {cmp.threshold} exceeds attribute width "
+                    f"{encoder.layout(cmp.attribute).width} for {cmp.attribute!r}"
+                )
+        self._rng = np.random.default_rng(seed)
+        self._infos: list[StructureInfo] = []
+        self._plan = self._compile(rule)
+        self._matrix_a: BitMatrix | None = None
+
+    # -- compilation -----------------------------------------------------------
+
+    def _build_structure(self, comparisons: tuple[Comparison, ...], n_tables: int) -> _LeafPlan:
+        structure = _Structure(comparisons, self.encoder, self.params, n_tables, self._rng)
+        sub_rule = comparisons[0] if len(comparisons) == 1 else And(comparisons)
+        self._infos.append(
+            StructureInfo(
+                rule=str(sub_rule),
+                attributes=tuple(cmp.attribute for cmp in comparisons),
+                n_tables=n_tables,
+                collision_probability=rule_collision_probability(sub_rule, self.params),
+            )
+        )
+        return _LeafPlan(structure)
+
+    def _compile(self, rule: Rule, n_tables: int | None = None) -> _Plan:
+        """Compile ``rule`` into a plan.
+
+        ``n_tables`` overrides Equation (2) for structures below an OR node
+        (the OR's shared L, per Definition 5).
+        """
+        if n_tables is None:
+            n_tables = self._n_tables_override
+        if isinstance(rule, Comparison):
+            tables = n_tables or rule_table_count(rule, self.params, self.delta)
+            return self._build_structure((rule,), tables)
+        if isinstance(rule, And):
+            flat = _flatten_and(rule)
+            comparisons = tuple(c for c in flat if isinstance(c, Comparison))
+            others = [c for c in flat if isinstance(c, (Or, And))]
+            nots = [c for c in flat if isinstance(c, Not)]
+            positives: list[_Plan] = []
+            if comparisons:
+                sub_rule = comparisons[0] if len(comparisons) == 1 else And(comparisons)
+                tables = n_tables or rule_table_count(sub_rule, self.params, self.delta)
+                positives.append(self._build_structure(comparisons, tables))
+            positives.extend(self._compile(child) for child in others)
+            # Definition 6: a NOT operand keeps its child's (unmodified)
+            # blocking structure, but its L comes from substituting
+            # p_not = 1 - p_child into Equation (2) — a small number of
+            # tables, which limits false exclusions of borderline pairs.
+            negatives = [
+                self._compile(
+                    child.child,
+                    n_tables=rule_table_count(child, self.params, self.delta),
+                )
+                for child in nots
+            ]
+            if not positives:
+                raise RuleError(
+                    "rule has no positive predicate to block on (NOT-only conjunction)"
+                )
+            if len(positives) == 1 and not negatives:
+                return positives[0]
+            return _AndPlan(positives, negatives)
+        if isinstance(rule, Or):
+            # Definition 5: one structure per arm, all sharing the OR's L.
+            shared = n_tables or rule_table_count(rule, self.params, self.delta)
+            children = [self._compile(child, n_tables=shared) for child in rule.children]
+            return _OrPlan(children)
+        if isinstance(rule, Not):
+            raise RuleError(
+                "a NOT operand cannot generate candidates on its own; "
+                "combine it with a positive predicate via AND"
+            )
+        raise RuleError(f"unknown rule node {type(rule).__name__}")
+
+    # -- public API ------------------------------------------------------------------
+
+    @property
+    def structures(self) -> list[StructureInfo]:
+        """Summaries of the compiled blocking structures."""
+        return list(self._infos)
+
+    @property
+    def total_tables(self) -> int:
+        """Total number of hash tables across all structures."""
+        return sum(info.n_tables for info in self._infos)
+
+    def index(self, matrix_a: BitMatrix) -> None:
+        """Hash dataset A's record-level c-vectors into every structure."""
+        if matrix_a.n_bits != self.encoder.total_bits:
+            raise RuleError(
+                f"matrix width {matrix_a.n_bits} != encoder width {self.encoder.total_bits}"
+            )
+        for structure in self._plan.structures:
+            structure.index(matrix_a)
+        self._matrix_a = matrix_a
+
+    def candidate_pairs(self, matrix_b: BitMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """Formulated pairs according to the rule-aware plan semantics."""
+        if self._matrix_a is None:
+            raise RuleError("call index(matrix_a) before candidate_pairs")
+        encoded = self._plan.members(matrix_b)
+        n_b = matrix_b.n_rows
+        return encoded // n_b, encoded % n_b
+
+    def match(
+        self, matrix_b: BitMatrix
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """Block, then apply the classification rule to measured distances.
+
+        Returns ``(rows_a, rows_b, distances)`` of the *accepted* pairs,
+        with ``distances`` the per-attribute distance arrays restricted to
+        the accepted pairs.
+        """
+        rows_a, rows_b = self.candidate_pairs(matrix_b)
+        if rows_a.size == 0:
+            return rows_a, rows_b, {}
+        assert self._matrix_a is not None
+        distances = self.encoder.attribute_distances(self._matrix_a, rows_a, matrix_b, rows_b)
+        accepted = np.asarray(self.rule.evaluate(distances))
+        kept = {name: dist[accepted] for name, dist in distances.items()}
+        return rows_a[accepted], rows_b[accepted], kept
+
+
+def _flatten_and(rule: And) -> tuple[Rule, ...]:
+    """Flatten nested ANDs: ``(a & b) & c -> (a, b, c)``."""
+    out: list[Rule] = []
+    for child in rule.children:
+        if isinstance(child, And):
+            out.extend(_flatten_and(child))
+        else:
+            out.append(child)
+    return tuple(out)

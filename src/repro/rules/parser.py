@@ -1,0 +1,144 @@
+"""A small parser for textual classification rules.
+
+Grammar (``|`` binds loosest, then ``&``, then ``!``)::
+
+    rule        := or_expr
+    or_expr     := and_expr (('|' | 'or')  and_expr)*
+    and_expr    := unary    (('&' | 'and') unary)*
+    unary       := ('!' | 'not') unary | atom
+    atom        := '(' or_expr ')' | '[' or_expr ']' | comparison
+    comparison  := NAME '<=' NUMBER
+
+Examples accepted (paper rules C1-C3)::
+
+    (f1 <= 4) & (f2 <= 4) & (f3 <= 8)
+    [(f1 <= 4) & (f2 <= 4)] | (f3 <= 8)
+    (f1 <= 4) & !(f2 <= 4)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.rules.ast import And, Comparison, Not, Or, Rule, RuleError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lparen>[\(\[])|(?P<rparen>[\)\]])|(?P<le><=)|"
+    r"(?P<and>&+|\band\b|∧)|(?P<or>\|+|\bor\b|∨)|(?P<not>!|\bnot\b|¬|~)|"
+    r"(?P<number>\d+(?:\.\d+)?)|(?P<name>[A-Za-z_][A-Za-z0-9_]*))",
+    flags=re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise RuleError(f"cannot tokenise rule at position {pos}: {remainder[:20]!r}")
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append(_Token(kind, match.group(kind), match.start(kind)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise RuleError(f"unexpected end of rule: {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise RuleError(
+                f"expected {kind} at position {token.position} in {self._source!r}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def parse(self) -> Rule:
+        rule = self._or_expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise RuleError(
+                f"trailing input at position {trailing.position} in {self._source!r}: "
+                f"{trailing.text!r}"
+            )
+        return rule
+
+    def _or_expr(self) -> Rule:
+        children = [self._and_expr()]
+        while (token := self._peek()) is not None and token.kind == "or":
+            self._next()
+            children.append(self._and_expr())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def _and_expr(self) -> Rule:
+        children = [self._unary()]
+        while (token := self._peek()) is not None and token.kind == "and":
+            self._next()
+            children.append(self._unary())
+        return children[0] if len(children) == 1 else And(children)
+
+    def _unary(self) -> Rule:
+        token = self._peek()
+        if token is not None and token.kind == "not":
+            self._next()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Rule:
+        token = self._peek()
+        if token is None:
+            raise RuleError(f"unexpected end of rule: {self._source!r}")
+        if token.kind == "lparen":
+            self._next()
+            inner = self._or_expr()
+            self._expect("rparen")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Comparison:
+        name = self._expect("name")
+        self._expect("le")
+        number = self._expect("number")
+        value = float(number.text)
+        return Comparison(name.text, int(value) if value.is_integer() else value)
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a textual classification rule into a :class:`Rule` AST.
+
+    >>> str(parse_rule('(f1 <= 4) & !(f2 <= 8)'))
+    '[(f1 <= 4) & !(f2 <= 8)]'
+    >>> str(parse_rule('[(f1<=4) and (f2<=4)] or (f3<=8)'))
+    '[[(f1 <= 4) & (f2 <= 4)] | (f3 <= 8)]'
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise RuleError("empty rule")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,35 @@
+"""String substrate: alphabets, normalisation and metrics on the original space E."""
+
+from repro.text.alphabet import (
+    Alphabet,
+    AlphabetError,
+    DEFAULT_ALPHABET,
+    PAD_CHAR,
+    TEXT_ALPHABET,
+)
+from repro.text.edit_distance import (
+    damerau_levenshtein,
+    levenshtein,
+    levenshtein_within,
+    matches_within,
+)
+from repro.text.jaro import jaro, jaro_winkler, jaro_winkler_distance
+from repro.text.normalize import normalize, pad, strip_accents
+
+__all__ = [
+    "Alphabet",
+    "AlphabetError",
+    "DEFAULT_ALPHABET",
+    "PAD_CHAR",
+    "TEXT_ALPHABET",
+    "damerau_levenshtein",
+    "levenshtein",
+    "levenshtein_within",
+    "matches_within",
+    "jaro",
+    "jaro_winkler",
+    "jaro_winkler_distance",
+    "normalize",
+    "pad",
+    "strip_accents",
+]

@@ -1,0 +1,90 @@
+"""String normalisation for the original space E.
+
+Record linkage operates on messy attribute values.  Before a string enters
+the q-gram machinery it is normalised: upper-cased, stripped, and restricted
+to the characters of the target alphabet.  Characters outside the alphabet
+are either dropped or replaced, depending on the chosen policy.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from typing import Literal
+
+from repro.text.alphabet import Alphabet, DEFAULT_ALPHABET, PAD_CHAR
+
+UnknownPolicy = Literal["drop", "replace", "error"]
+
+
+def strip_accents(value: str) -> str:
+    """Decompose accented characters and drop their combining marks.
+
+    >>> strip_accents('Müller')
+    'Muller'
+    """
+    decomposed = unicodedata.normalize("NFKD", value)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def normalize(
+    value: str,
+    alphabet: Alphabet = DEFAULT_ALPHABET,
+    unknown: UnknownPolicy = "drop",
+    replacement: str = "",
+    collapse_spaces: bool = True,
+) -> str:
+    """Normalise ``value`` into the character set of ``alphabet``.
+
+    The steps are: accent stripping, upper-casing, whitespace collapsing and
+    finally filtering against ``alphabet``.
+
+    Parameters
+    ----------
+    value:
+        The raw attribute value.
+    alphabet:
+        The target alphabet; characters outside it trigger ``unknown``.
+    unknown:
+        ``'drop'`` removes unknown characters, ``'replace'`` substitutes
+        ``replacement`` for each of them, ``'error'`` raises ``ValueError``.
+    replacement:
+        Replacement text used by the ``'replace'`` policy.
+    collapse_spaces:
+        Collapse runs of whitespace into single spaces and strip the ends.
+
+    Examples
+    --------
+    >>> normalize('  jönes, jr. ')
+    'JONESJR'
+    """
+    text = strip_accents(value).upper()
+    if collapse_spaces:
+        text = " ".join(text.split())
+    out: list[str] = []
+    for ch in text:
+        if ch in alphabet:
+            out.append(ch)
+        elif unknown == "drop":
+            continue
+        elif unknown == "replace":
+            out.append(replacement)
+        else:
+            raise ValueError(f"character {ch!r} not in alphabet while normalising {value!r}")
+    return "".join(out)
+
+
+def pad(value: str, q: int, pad_char: str = PAD_CHAR) -> str:
+    """Pad ``value`` with ``q - 1`` pad characters on each side.
+
+    Footnote 4 of the paper pads strings (``'_JONES_'`` for bigrams) so that
+    the first and last characters each appear in ``q`` q-grams.
+
+    >>> pad('JONES', 2)
+    '_JONES_'
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if len(pad_char) != 1:
+        raise ValueError("pad_char must be a single character")
+    wings = pad_char * (q - 1)
+    return f"{wings}{value}{wings}" if value else value

@@ -1,0 +1,52 @@
+"""Shared fixtures: small calibrated encoders and linkage problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cvector import CVectorEncoder
+from repro.core.encoder import RecordEncoder
+from repro.core.qgram import QGramScheme
+from repro.data import (
+    NCVRGenerator,
+    build_linkage_problem,
+    scheme_ph,
+    scheme_pl,
+)
+from repro.text.alphabet import TEXT_ALPHABET
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ncvr_encoder() -> RecordEncoder:
+    """A fixed-size encoder using the paper's Table 3 NCVR widths.
+
+    Uses the letters+digits+blank alphabet so address-like values encode.
+    """
+    scheme = QGramScheme(alphabet=TEXT_ALPHABET)
+    return RecordEncoder(
+        [
+            CVectorEncoder(15, scheme=scheme, seed=10),
+            CVectorEncoder(15, scheme=scheme, seed=11),
+            CVectorEncoder(68, scheme=scheme, seed=12),
+            CVectorEncoder(22, scheme=scheme, seed=13),
+        ],
+        names=["f1", "f2", "f3", "f4"],
+    )
+
+
+@pytest.fixture(scope="session")
+def small_pl_problem():
+    """A small PL linkage problem reused across integration tests."""
+    return build_linkage_problem(NCVRGenerator(), 400, scheme_pl(), seed=99)
+
+
+@pytest.fixture(scope="session")
+def small_ph_problem():
+    """A small PH linkage problem reused across integration tests."""
+    return build_linkage_problem(NCVRGenerator(), 400, scheme_ph(), seed=98)

@@ -1,0 +1,74 @@
+"""Tests for repro.text.alphabet."""
+
+import pytest
+
+from repro.text.alphabet import (
+    Alphabet,
+    AlphabetError,
+    DEFAULT_ALPHABET,
+    PAD_CHAR,
+    TEXT_ALPHABET,
+)
+
+
+class TestAlphabetConstruction:
+    def test_uppercase_has_26_letters(self):
+        assert len(Alphabet.uppercase()) == 26
+
+    def test_uppercase_padded_adds_pad_char(self):
+        padded = Alphabet.uppercase_padded()
+        assert len(padded) == 27
+        assert PAD_CHAR in padded
+
+    def test_alphanumeric_contains_digits_and_space(self):
+        assert "7" in TEXT_ALPHABET
+        assert " " in TEXT_ALPHABET
+        assert "_" in TEXT_ALPHABET
+
+    def test_duplicate_characters_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ABBA")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+
+class TestIndexing:
+    def test_index_is_zero_based_order(self):
+        assert DEFAULT_ALPHABET.index("A") == 0
+        assert DEFAULT_ALPHABET.index("Z") == 25
+
+    def test_paper_example_characters(self):
+        # ord() values behind F('JO') = 248: J = 9, O = 14.
+        assert DEFAULT_ALPHABET.index("J") == 9
+        assert DEFAULT_ALPHABET.index("O") == 14
+
+    def test_char_inverts_index(self):
+        for i in range(len(DEFAULT_ALPHABET)):
+            assert DEFAULT_ALPHABET.index(DEFAULT_ALPHABET.char(i)) == i
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(AlphabetError, match="not in alphabet"):
+            DEFAULT_ALPHABET.index("!")
+
+    def test_char_out_of_range_raises(self):
+        with pytest.raises(AlphabetError):
+            DEFAULT_ALPHABET.char(26)
+
+    def test_contains(self):
+        assert "Q" in DEFAULT_ALPHABET
+        assert "q" not in DEFAULT_ALPHABET
+
+
+class TestQGramSpaceSize:
+    def test_bigram_space_is_676(self):
+        # The paper's m = |S|^q = 26^2.
+        assert DEFAULT_ALPHABET.qgram_space_size(2) == 676
+
+    def test_trigram_space(self):
+        assert DEFAULT_ALPHABET.qgram_space_size(3) == 26**3
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ALPHABET.qgram_space_size(0)

@@ -1,0 +1,85 @@
+"""Tests for repro.evaluation.ascii — terminal charts."""
+
+import pytest
+
+from repro.evaluation.ascii import bar_chart, line_chart, sparkline
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"cBV-HB": 0.98, "HARRA": 0.49}, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("cBV-HB |")
+        # The longer bar belongs to the larger value.
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_max_value_scaling(self):
+        text = bar_chart({"a": 0.5}, width=10, max_value=1.0)
+        assert text.count("█") == 5
+
+    def test_values_capped_at_width(self):
+        text = bar_chart({"a": 5.0}, width=10, max_value=1.0)
+        assert text.count("█") == 10
+
+    def test_labels_aligned(self):
+        text = bar_chart({"x": 1.0, "longer": 1.0})
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_zero_values_ok(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0" in text
+
+
+class TestLineChart:
+    def test_shape(self):
+        text = line_chart([1, 2, 3, 4], [0.1, 0.4, 0.2, 0.9], height=5)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + labels
+        assert "●" in text
+
+    def test_extremes_on_boundary_rows(self):
+        text = line_chart([1, 2], [0.0, 1.0], height=4)
+        lines = text.splitlines()
+        assert "●" in lines[0]  # max on top row
+        assert "●" in lines[3]  # min on bottom row
+
+    def test_title(self):
+        text = line_chart([1], [1.0], title="PC vs K")
+        assert text.splitlines()[0] == "PC vs K"
+
+    def test_flat_series(self):
+        text = line_chart([1, 2, 3], [5.0, 5.0, 5.0])
+        assert text.count("●") == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            line_chart([], [])
+        with pytest.raises(ValueError):
+            line_chart([1], [1.0], height=1)
+
+
+class TestSparkline:
+    def test_symmetry(self):
+        assert sparkline([1, 2, 3, 2, 1]) == "▁▄█▄▁"
+
+    def test_flat(self):
+        assert sparkline([2, 2]) == "▁▁"
+
+    def test_length(self):
+        assert len(sparkline(range(20))) == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,159 @@
+"""Tests for repro.hamming.bitvector."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hamming.bitvector import BitVector
+
+
+def vectors(width=st.integers(min_value=1, max_value=200)):
+    return width.flatmap(
+        lambda n: st.builds(
+            BitVector, st.just(n), st.integers(min_value=0, max_value=(1 << n) - 1)
+        )
+    )
+
+
+def vector_pairs():
+    return st.integers(min_value=1, max_value=200).flatmap(
+        lambda n: st.tuples(
+            st.builds(BitVector, st.just(n), st.integers(0, (1 << n) - 1)),
+            st.builds(BitVector, st.just(n), st.integers(0, (1 << n) - 1)),
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_indices(self):
+        v = BitVector.from_indices(8, [0, 3, 7])
+        assert v.indices() == [0, 3, 7]
+        assert v.count() == 3
+
+    def test_from_indices_duplicates_idempotent(self):
+        assert BitVector.from_indices(8, [1, 1, 1]) == BitVector.from_indices(8, [1])
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector.from_indices(8, [8])
+
+    def test_from_bits(self):
+        v = BitVector.from_bits([1, 0, 1, 1])
+        assert v.n_bits == 4
+        assert v.indices() == [0, 2, 3]
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits([0, 2])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+    def test_value_beyond_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(3, 8)
+
+
+class TestAccess:
+    def test_getitem_and_iter_agree(self):
+        v = BitVector.from_indices(10, [2, 5])
+        assert [v[i] for i in range(10)] == list(v)
+
+    def test_negative_index(self):
+        v = BitVector.from_indices(4, [3])
+        assert v[-1] == 1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(4)[4]
+
+    @given(vectors())
+    def test_count_equals_len_indices(self, v):
+        assert v.count() == len(v.indices())
+
+
+class TestHamming:
+    def test_distance_counts_differing_positions(self):
+        v1 = BitVector.from_indices(8, [0, 1, 2])
+        v2 = BitVector.from_indices(8, [1, 2, 3])
+        assert v1.hamming(v2) == 2
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(4).hamming(BitVector(5))
+
+    @given(vector_pairs())
+    def test_symmetry(self, pair):
+        v1, v2 = pair
+        assert v1.hamming(v2) == v2.hamming(v1)
+
+    @given(vectors())
+    def test_identity(self, v):
+        assert v.hamming(v) == 0
+
+    @given(vector_pairs())
+    def test_equals_xor_popcount(self, pair):
+        v1, v2 = pair
+        assert v1.hamming(v2) == (v1 ^ v2).count()
+
+    @given(vector_pairs())
+    def test_symmetric_difference_of_index_sets(self, pair):
+        v1, v2 = pair
+        assert v1.hamming(v2) == len(set(v1.indices()) ^ set(v2.indices()))
+
+
+class TestAlgebra:
+    def test_concat_low_bits_first(self):
+        left = BitVector.from_indices(4, [0])
+        right = BitVector.from_indices(4, [1])
+        combined = left.concat(right)
+        assert combined.n_bits == 8
+        assert combined.indices() == [0, 5]
+
+    @given(vector_pairs())
+    def test_concat_preserves_counts(self, pair):
+        v1, v2 = pair
+        assert v1.concat(v2).count() == v1.count() + v2.count()
+
+    def test_slice_recovers_concat_parts(self):
+        left = BitVector.from_indices(5, [1, 4])
+        right = BitVector.from_indices(7, [0, 6])
+        combined = left.concat(right)
+        assert combined.slice(0, 5) == left
+        assert combined.slice(5, 12) == right
+
+    def test_slice_invalid_range(self):
+        with pytest.raises(ValueError):
+            BitVector(8).slice(5, 3)
+
+    def test_set_returns_copy(self):
+        v = BitVector(4)
+        w = v.set(2)
+        assert v.count() == 0
+        assert w.indices() == [2]
+
+
+class TestConversion:
+    @given(vectors())
+    def test_packed_roundtrip(self, v):
+        assert BitVector.from_packed(v.to_packed(), v.n_bits) == v
+
+    @given(vectors())
+    def test_to_array_matches_iteration(self, v):
+        assert v.to_array().tolist() == list(v)
+
+    def test_packed_width_beyond_64(self):
+        v = BitVector.from_indices(130, [0, 64, 129])
+        packed = v.to_packed()
+        assert packed.shape == (3,)
+        assert BitVector.from_packed(packed, 130) == v
+
+    def test_hashable(self):
+        v = BitVector.from_indices(8, [1])
+        assert v in {BitVector.from_indices(8, [1])}
+
+    def test_numpy_interop(self):
+        v = BitVector.from_indices(70, [69])
+        assert np.bitwise_count(v.to_packed()).sum() == 1

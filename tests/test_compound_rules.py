@@ -1,0 +1,170 @@
+"""Section 5.4's compound classification rules, end to end.
+
+The paper sketches three compound shapes:
+
+    C1' = [(f1<=t) & (f2<=t)] | [(f3<=t) & (f4<=t)]   two AND structures, OR'd
+    C2' = [(f1<=t) | (f2<=t)] & [(f3<=t) | (f4<=t)]   four OR structures, AND'd
+    C3' = (f1<=t) & !(f2<=t)                           positive + exclusion
+
+These tests verify the compiled blocking structures and, on small
+exhaustively-checkable datasets, that the formulated pairs honour the
+compound semantics (membership in either AND structure for C1', in both
+OR structures for C2').
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cvector import CVectorEncoder
+from repro.core.encoder import RecordEncoder
+from repro.core.qgram import QGramScheme
+from repro.rules.blocking import RuleAwareBlocker
+from repro.rules.parser import parse_rule
+from repro.text.alphabet import TEXT_ALPHABET
+
+K = {"f1": 4, "f2": 4, "f3": 4, "f4": 4}
+SCHEME = QGramScheme(alphabet=TEXT_ALPHABET)
+
+
+@pytest.fixture
+def encoder():
+    return RecordEncoder(
+        [CVectorEncoder(20, scheme=SCHEME, seed=s) for s in range(4)],
+        names=["f1", "f2", "f3", "f4"],
+    )
+
+
+def _exhaustive_truth(rule, encoder, matrix_a, matrix_b):
+    n_a, n_b = matrix_a.n_rows, matrix_b.n_rows
+    rows_a = np.repeat(np.arange(n_a), n_b)
+    rows_b = np.tile(np.arange(n_b), n_a)
+    distances = encoder.attribute_distances(matrix_a, rows_a, matrix_b, rows_b)
+    keep = np.asarray(rule.evaluate(distances))
+    return set(zip(rows_a[keep].tolist(), rows_b[keep].tolist()))
+
+
+RECORDS_A = [
+    ("ALPHA", "BRAVO", "CHARLIE", "DELTA"),
+    ("MIKE", "NOVEMBER", "OSCAR", "PAPA"),
+    ("VICTOR", "WHISKEY", "XRAY", "YANKEE"),
+]
+# Far filler values use distinct bigrams so their c-vectors set ~5 bits
+# each (repeated-letter strings like 'ZZZZZZ' collapse to a single bit and
+# would be accidentally 'close' to everything).
+RECORDS_B = [
+    # Satisfies the left conjunct only (f1, f2 close; f3, f4 far).
+    ("ALPHA", "BRAVO", "QWZXVK", "PLMKJH"),
+    # Satisfies the right conjunct only.
+    ("QWZXVK", "PLMKJH", "CHARLIE", "DELTA"),
+    # Satisfies neither.
+    ("QWZXVK", "PLMKJH", "WSXEDC", "RFVTGB"),
+]
+
+
+class TestCompoundC1Prime:
+    RULE = parse_rule("[(f1<=4) & (f2<=4)] | [(f3<=4) & (f4<=4)]")
+
+    def test_two_and_structures_compiled(self, encoder):
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=1)
+        assert len(blocker.structures) == 2
+        assert blocker.structures[0].attributes == ("f1", "f2")
+        assert blocker.structures[1].attributes == ("f3", "f4")
+
+    def test_pair_in_either_structure_is_returned(self, encoder):
+        matrix_a = encoder.encode_dataset(RECORDS_A)
+        matrix_b = encoder.encode_dataset(RECORDS_B)
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=2)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        assert (0, 0) in found  # left conjunct
+        assert (0, 1) in found  # right conjunct
+        assert (0, 2) not in found
+
+    def test_matches_subset_of_rule_truth(self, encoder):
+        matrix_a = encoder.encode_dataset(RECORDS_A)
+        matrix_b = encoder.encode_dataset(RECORDS_B)
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=3)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        truth = _exhaustive_truth(self.RULE, encoder, matrix_a, matrix_b)
+        assert found <= truth
+
+
+class TestCompoundC2Prime:
+    RULE = parse_rule("[(f1<=4) | (f2<=4)] & [(f3<=4) | (f4<=4)]")
+
+    def test_four_or_structures_compiled(self, encoder):
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=4)
+        assert len(blocker.structures) == 4
+
+    def test_requires_membership_in_both_or_blocks(self, encoder):
+        matrix_a = encoder.encode_dataset(RECORDS_A)
+        matrix_b = encoder.encode_dataset(RECORDS_B)
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=5)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        # (0,0) satisfies only the first OR block; (0,1) only the second.
+        assert (0, 0) not in found
+        assert (0, 1) not in found
+
+    def test_pair_satisfying_both_blocks_found(self, encoder):
+        matrix_a = encoder.encode_dataset(RECORDS_A)
+        both = [("ALPHA", "QQQQQQ", "CHARLIE", "WWWWWW")]  # f1 and f3 close
+        matrix_b = encoder.encode_dataset(both)
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=6)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        assert (0, 0) in set(zip(rows_a.tolist(), rows_b.tolist()))
+
+
+class TestMixedAndWithOrChild:
+    """The paper's C2 from the experiments: [(f1 & f2)] | f3 nests an AND
+    structure beside a bare comparison under one OR."""
+
+    RULE = parse_rule("[(f1<=4) & (f2<=4)] | (f3<=4)")
+
+    def test_structures(self, encoder):
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=7)
+        assert len(blocker.structures) == 2
+        # Definition 5: both arms share the OR's L.
+        assert blocker.structures[0].n_tables == blocker.structures[1].n_tables
+
+    def test_semantics(self, encoder):
+        matrix_a = encoder.encode_dataset(RECORDS_A)
+        matrix_b = encoder.encode_dataset(RECORDS_B)
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=K, seed=8)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        assert (0, 0) in found  # via the AND arm
+        assert (0, 1) in found  # via the f3 arm
+
+
+class TestNotOverCompound:
+    """NOT over a compound child: exclusion by the whole sub-plan."""
+
+    RULE = parse_rule("(f1<=4) & !((f3<=4) | (f4<=4))")
+
+    def test_compiles_and_excludes(self, encoder):
+        matrix_a = encoder.encode_dataset(RECORDS_A)
+        matrix_b = encoder.encode_dataset(
+            [
+                # f1 close but f3 close too -> the NOT sub-plan excludes it.
+                ("ALPHA", "QWZXVK", "CHARLIE", "WSXEDC"),
+                # f1 close, f3 and f4 far -> kept.
+                ("ALPHA", "QWZXVK", "PLMKJH", "RFVTGB"),
+            ]
+        )
+        # NOT exclusion is membership-based: with a small K, pairs just
+        # above the threshold still collide in the exclusion structure and
+        # get over-excluded.  A selective K keeps the exclusion sharp.
+        sharp_k = {name: 10 for name in K}
+        blocker = RuleAwareBlocker(self.RULE, encoder, k=sharp_k, seed=9)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        assert (0, 0) not in found
+        assert (0, 1) in found

@@ -1,0 +1,53 @@
+"""Tests for repro.evaluation.diagnostics — blocking selectivity."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.diagnostics import (
+    _gini,
+    diagnose_blocking,
+    selectivity_sweep,
+)
+from repro.hamming.bitmatrix import scatter_bits
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(81)
+    mask = rng.random((400, 120)) < 0.25
+    rows, bits = np.nonzero(mask)
+    return scatter_bits(400, 120, rows, bits)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.asarray([5, 5, 5, 5])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        assert _gini(np.asarray([0, 0, 0, 100])) > 0.7
+
+    def test_empty(self):
+        assert _gini(np.asarray([], dtype=np.int64)) == 0.0
+
+
+class TestDiagnoseBlocking:
+    def test_fields_consistent(self, matrix):
+        diag = diagnose_blocking(matrix, k=20, threshold=4, seed=1)
+        assert diag.n_records == 400
+        assert diag.n_buckets >= diag.n_tables  # at least one bucket per table
+        assert diag.max_bucket_size >= diag.mean_bucket_size
+        assert 0.0 <= diag.gini <= 1.0
+        assert diag.expected_pairs_per_table > 0
+
+    def test_small_k_overpopulates(self, matrix):
+        """The §4.2 claim: small K -> few, overpopulated buckets."""
+        small = diagnose_blocking(matrix, k=4, threshold=4, n_tables=4, seed=1)
+        large = diagnose_blocking(matrix, k=30, threshold=4, n_tables=4, seed=1)
+        assert small.n_buckets < large.n_buckets
+        assert small.max_bucket_size > large.max_bucket_size
+        assert small.expected_pairs_per_table > large.expected_pairs_per_table
+
+    def test_selectivity_monotone_in_k(self, matrix):
+        sweep = selectivity_sweep(matrix, (5, 15, 30), threshold=4, seed=2)
+        selectivities = [d.selectivity for d in sweep]
+        assert selectivities == sorted(selectivities)

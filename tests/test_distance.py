@@ -1,0 +1,112 @@
+"""Tests for repro.hamming.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.bitmatrix import BitMatrix
+from repro.hamming.bitvector import BitVector
+from repro.hamming.distance import (
+    hamming,
+    hamming_int,
+    hamming_packed,
+    jaccard_distance_sets,
+    masked_hamming_rows,
+    normalized_hamming,
+)
+
+
+class TestScalarDistances:
+    def test_hamming_int(self):
+        assert hamming_int(0b1010, 0b0110) == 2
+
+    def test_hamming_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hamming_int(-1, 0)
+
+    def test_hamming_wraps_bitvector(self):
+        v1 = BitVector.from_indices(8, [0])
+        v2 = BitVector.from_indices(8, [1])
+        assert hamming(v1, v2) == 2
+
+    def test_normalized(self):
+        v1 = BitVector.from_indices(10, [0, 1])
+        v2 = BitVector(10)
+        assert normalized_hamming(v1, v2) == pytest.approx(0.2)
+
+
+class TestHammingPacked:
+    def test_rowwise(self):
+        a = np.asarray([[0b1010, 0], [0b1111, 1]], dtype=np.uint64)
+        b = np.asarray([[0b0110, 0], [0b1111, 0]], dtype=np.uint64)
+        assert hamming_packed(a, b).tolist() == [2, 1]
+
+    def test_broadcast_single_row(self):
+        a = np.asarray([0b1, 0], dtype=np.uint64)
+        b = np.asarray([[0b0, 0], [0b1, 1]], dtype=np.uint64)
+        assert hamming_packed(a, b).tolist() == [1, 1]
+
+
+class TestJaccard:
+    def test_paper_jones_jonas_example(self):
+        # Section 5.1: u_J('JONES', 'JONAS') ~= 0.667 on bigram sets.
+        from repro.core.qgram import qgram_index_set
+
+        u1 = qgram_index_set("JONES")
+        u2 = qgram_index_set("JONAS")
+        assert jaccard_distance_sets(u1, u2) == pytest.approx(2 / 3, abs=1e-3)
+
+    def test_paper_washington_example(self):
+        # Same single-substitution error, longer string: distance shrinks.
+        from repro.core.qgram import qgram_index_set
+
+        u1 = qgram_index_set("WASHINGTON")
+        u2 = qgram_index_set("WASHANGTON")
+        assert jaccard_distance_sets(u1, u2) == pytest.approx(0.364, abs=1e-2)
+
+    def test_empty_sets(self):
+        assert jaccard_distance_sets(set(), set()) == 0.0
+
+    def test_disjoint(self):
+        assert jaccard_distance_sets({1}, {2}) == 1.0
+
+    def test_identical(self):
+        assert jaccard_distance_sets({1, 2}, {1, 2}) == 0.0
+
+
+class TestMaskedHammingRows:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=190),
+        st.integers(min_value=1, max_value=190),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60)
+    def test_matches_slice_reference(self, n_rows, start, width, seed):
+        n_bits = 192
+        stop = min(start + width, n_bits)
+        if stop <= start:
+            stop = start + 1
+        rng = np.random.default_rng(seed)
+        words_a = rng.integers(0, 2**63, size=(n_rows, 3), dtype=np.int64).astype(np.uint64)
+        words_b = rng.integers(0, 2**63, size=(n_rows, 3), dtype=np.int64).astype(np.uint64)
+        ma = BitMatrix(words_a, n_bits)
+        mb = BitMatrix(words_b, n_bits)
+        rows = np.arange(n_rows)
+        got = masked_hamming_rows(words_a, rows, words_b, rows, start, stop)
+        for i in range(n_rows):
+            expected = ma.row(i).slice(start, stop).hamming(mb.row(i).slice(start, stop))
+            assert got[i] == expected
+
+    def test_word_aligned_range(self):
+        words = np.asarray([[np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0)]], dtype=np.uint64)
+        zeros = np.zeros_like(words)
+        rows = np.asarray([0])
+        assert masked_hamming_rows(words, rows, zeros, rows, 0, 64).tolist() == [64]
+        assert masked_hamming_rows(words, rows, zeros, rows, 64, 128).tolist() == [0]
+
+    def test_invalid_range(self):
+        words = np.zeros((1, 1), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            masked_hamming_rows(words, np.asarray([0]), words, np.asarray([0]), 5, 5)

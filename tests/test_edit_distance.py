@@ -1,0 +1,100 @@
+"""Tests for repro.text.edit_distance, incl. metric-space properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.edit_distance import (
+    damerau_levenshtein,
+    levenshtein,
+    levenshtein_within,
+    matches_within,
+)
+
+WORDS = st.text(alphabet="ABCDE", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "s1, s2, expected",
+        [
+            ("JONES", "JONES", 0),
+            ("JONES", "JONAS", 1),  # paper's substitute example
+            ("JONES", "JONS", 1),  # paper's delete example
+            ("JONES", "JONEAS", 1),  # paper's insert example
+            ("SHANNEN", "SHENNEN", 1),
+            ("", "", 0),
+            ("", "ABC", 3),
+            ("ABC", "", 3),
+            ("KITTEN", "SITTING", 3),
+            ("FLAW", "LAWN", 2),
+        ],
+    )
+    def test_known_distances(self, s1, s2, expected):
+        assert levenshtein(s1, s2) == expected
+
+    @given(WORDS)
+    def test_identity(self, s):
+        assert levenshtein(s, s) == 0
+
+    @given(WORDS, WORDS)
+    def test_symmetry(self, s1, s2):
+        assert levenshtein(s1, s2) == levenshtein(s2, s1)
+
+    @given(WORDS, WORDS, WORDS)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(WORDS, WORDS)
+    def test_bounded_by_longer_length(self, s1, s2):
+        assert levenshtein(s1, s2) <= max(len(s1), len(s2))
+
+    @given(WORDS, WORDS)
+    def test_at_least_length_difference(self, s1, s2):
+        assert levenshtein(s1, s2) >= abs(len(s1) - len(s2))
+
+
+class TestLevenshteinWithin:
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=6))
+    def test_agrees_with_full_computation(self, s1, s2, limit):
+        full = levenshtein(s1, s2)
+        banded = levenshtein_within(s1, s2, limit)
+        if full <= limit:
+            assert banded == full
+        else:
+            assert banded is None
+
+    def test_early_exit_on_length_gap(self):
+        assert levenshtein_within("A" * 30, "A", 3) is None
+
+    def test_zero_limit(self):
+        assert levenshtein_within("SAME", "SAME", 0) == 0
+        assert levenshtein_within("SAME", "SANE", 0) is None
+
+    def test_negative_limit_raises(self):
+        with pytest.raises(ValueError):
+            levenshtein_within("A", "B", -1)
+
+    def test_matches_within(self):
+        assert matches_within("JONES", "JONAS", 1)
+        assert not matches_within("JONES", "SMITH", 2)
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein("JONES", "JONSE") == 1
+        # Plain Levenshtein needs two operations for the same swap.
+        assert levenshtein("JONES", "JONSE") == 2
+
+    @given(WORDS, WORDS)
+    def test_never_exceeds_levenshtein(self, s1, s2):
+        assert damerau_levenshtein(s1, s2) <= levenshtein(s1, s2)
+
+    @given(WORDS)
+    def test_identity(self, s):
+        assert damerau_levenshtein(s, s) == 0
+
+    def test_empty_sides(self):
+        assert damerau_levenshtein("", "ABC") == 3
+        assert damerau_levenshtein("ABC", "") == 3

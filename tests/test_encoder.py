@@ -1,0 +1,133 @@
+"""Tests for repro.core.encoder — record-level c-vector encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.cvector import CVectorEncoder
+from repro.core.encoder import RecordEncoder
+
+RECORDS = [
+    ("JONES", "SMITH", "12 MAIN ST", "BOONE"),
+    ("JONAS", "SMITH", "12 MAIN ST", "BOONE"),
+    ("MARIA", "GARCIA", "99 OAK AVE APT 3", "DURHAM"),
+]
+
+
+class TestLayout:
+    def test_offsets_accumulate(self, ncvr_encoder):
+        widths = [lay.width for lay in ncvr_encoder.layouts]
+        offsets = [lay.offset for lay in ncvr_encoder.layouts]
+        assert widths == [15, 15, 68, 22]
+        assert offsets == [0, 15, 30, 98]
+        assert ncvr_encoder.total_bits == 120
+
+    def test_layout_lookup(self, ncvr_encoder):
+        assert ncvr_encoder.layout("f3").offset == 30
+        with pytest.raises(KeyError):
+            ncvr_encoder.layout("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            RecordEncoder([CVectorEncoder(5, seed=0)] * 2, names=["a", "a"])
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            RecordEncoder([CVectorEncoder(5, seed=0)], names=["a", "b"])
+
+    def test_empty_encoders_rejected(self):
+        with pytest.raises(ValueError):
+            RecordEncoder([])
+
+
+class TestEncode:
+    def test_record_vector_is_concatenation(self, ncvr_encoder):
+        record = RECORDS[0]
+        vector = ncvr_encoder.encode(record)
+        assert vector.n_bits == 120
+        for layout, enc, value in zip(
+            ncvr_encoder.layouts, ncvr_encoder.encoders, record
+        ):
+            assert vector.slice(layout.offset, layout.stop) == enc.encode(value)
+
+    def test_arity_check(self, ncvr_encoder):
+        with pytest.raises(ValueError, match="values"):
+            ncvr_encoder.encode(("A", "B"))
+
+    def test_dataset_matrix_matches_per_record(self, ncvr_encoder):
+        matrix = ncvr_encoder.encode_dataset(RECORDS)
+        for i, record in enumerate(RECORDS):
+            assert matrix.row(i) == ncvr_encoder.encode(record)
+
+    def test_encode_attribute_column(self, ncvr_encoder):
+        matrix = ncvr_encoder.encode_attribute(RECORDS, "f2")
+        enc = ncvr_encoder.attribute_encoder("f2")
+        for i, record in enumerate(RECORDS):
+            assert matrix.row(i) == enc.encode(record[1])
+
+    def test_empty_dataset_rejected(self, ncvr_encoder):
+        with pytest.raises(ValueError):
+            ncvr_encoder.encode_dataset([])
+
+
+class TestAttributeDistances:
+    def test_distances_match_slices(self, ncvr_encoder):
+        matrix = ncvr_encoder.encode_dataset(RECORDS)
+        rows_a = np.asarray([0, 0, 1])
+        rows_b = np.asarray([1, 2, 2])
+        distances = ncvr_encoder.attribute_distances(matrix, rows_a, matrix, rows_b)
+        for layout in ncvr_encoder.layouts:
+            for idx, (a, b) in enumerate(zip(rows_a, rows_b)):
+                expected = (
+                    matrix.row(int(a))
+                    .slice(layout.offset, layout.stop)
+                    .hamming(matrix.row(int(b)).slice(layout.offset, layout.stop))
+                )
+                assert distances[layout.name][idx] == expected
+
+    def test_identical_records_zero_everywhere(self, ncvr_encoder):
+        matrix = ncvr_encoder.encode_dataset(RECORDS)
+        rows = np.asarray([0, 1, 2])
+        distances = ncvr_encoder.attribute_distances(matrix, rows, matrix, rows)
+        for values in distances.values():
+            assert (values == 0).all()
+
+    def test_perturbed_attribute_isolated(self, ncvr_encoder):
+        """Only the perturbed attribute shows a non-zero distance."""
+        matrix = ncvr_encoder.encode_dataset(RECORDS[:2])  # differ only in f1
+        distances = ncvr_encoder.attribute_distances(
+            matrix, np.asarray([0]), matrix, np.asarray([1])
+        )
+        assert distances["f1"][0] > 0
+        assert distances["f2"][0] == 0
+        assert distances["f3"][0] == 0
+        assert distances["f4"][0] == 0
+
+
+class TestCalibration:
+    def test_calibrated_reproduces_table3_widths(self):
+        """Samples with exactly the Table 3 bigram counts yield its sizes."""
+        def word(n):  # a string with exactly n bigrams
+            return "ABCDEFGHIJKLMNOPQRSTUVWXYZ"[: n + 1]
+
+        sample = [(word(5), word(5), word(20), word(7))] * 10
+        enc = RecordEncoder.calibrated(sample, seed=0)
+        assert [lay.width for lay in enc.layouts] == [15, 15, 68, 22]
+        assert enc.total_bits == 120
+
+    def test_seeded_calibration_reproducible(self):
+        sample = [("JONES", "SMITH", "MAIN ST", "BOONE")] * 3
+        from repro.data.generators import EXPERIMENT_SCHEME
+
+        e1 = RecordEncoder.calibrated(sample, scheme=EXPERIMENT_SCHEME, seed=9)
+        e2 = RecordEncoder.calibrated(sample, scheme=EXPERIMENT_SCHEME, seed=9)
+        assert e1.encode(sample[0]) == e2.encode(sample[0])
+
+    def test_attribute_hashes_differ(self):
+        sample = [("ABCDE", "ABCDE")] * 5
+        enc = RecordEncoder.calibrated(sample, seed=3)
+        g1, g2 = enc.encoders[0].hash_fn, enc.encoders[1].hash_fn
+        assert (g1.a, g1.b) != (g2.a, g2.b)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RecordEncoder.calibrated([])

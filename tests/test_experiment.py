@@ -1,0 +1,103 @@
+"""Tests for repro.evaluation.experiment and reporting."""
+
+import pytest
+
+from repro.core.linker import CompactHammingLinker
+from repro.data import Operation
+from repro.evaluation.experiment import (
+    per_operation_completeness,
+    run_experiment,
+    sweep,
+)
+from repro.evaluation.reporting import banner, format_series, format_table
+
+
+def _make_linker(seed):
+    return CompactHammingLinker.record_level(threshold=4, k=20, seed=seed)
+
+
+class TestRunExperiment:
+    def test_trials_aggregate(self, small_pl_problem):
+        result = run_experiment(
+            "cbv", _make_linker, small_pl_problem, n_trials=2, base_seed=0
+        )
+        assert result.n_trials == 2
+        assert 0.0 <= result.mean_pc <= 1.0
+        assert result.mean_time > 0.0
+        assert result.mean("RR") == result.mean_rr
+
+    def test_distinct_seeds_per_trial(self, small_pl_problem):
+        result = run_experiment(
+            "cbv", _make_linker, small_pl_problem, n_trials=3, base_seed=10
+        )
+        assert [t.seed for t in result.trials] == [10, 11, 12]
+
+    def test_summary_keys(self, small_pl_problem):
+        result = run_experiment("cbv", _make_linker, small_pl_problem, n_trials=1)
+        assert {"PC", "PQ", "RR", "F1", "time_s", "n_trials"} == set(result.summary())
+
+    def test_stage_timings_recorded(self, small_pl_problem):
+        result = run_experiment("cbv", _make_linker, small_pl_problem, n_trials=1)
+        assert result.mean_stage_time("embed") > 0.0
+
+    def test_invalid_trials(self, small_pl_problem):
+        with pytest.raises(ValueError):
+            run_experiment("x", _make_linker, small_pl_problem, n_trials=0)
+
+    def test_stdev_single_trial_zero(self, small_pl_problem):
+        result = run_experiment("cbv", _make_linker, small_pl_problem, n_trials=1)
+        assert result.stdev("PC") == 0.0
+
+
+class TestPerOperation:
+    def test_breakdown_covers_present_operations(self, small_pl_problem):
+        result = run_experiment("cbv", _make_linker, small_pl_problem, n_trials=1)
+        breakdown = per_operation_completeness(result, small_pl_problem)
+        present = {
+            op.value
+            for op in Operation
+            if small_pl_problem.matches_with_operation(op)
+        }
+        assert set(breakdown) == present
+        for value in breakdown.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestSweep:
+    def test_sweep_runs_each_point(self, small_pl_problem):
+        points = [("K=10", 10), ("K=20", 20)]
+        results = sweep(
+            points,
+            lambda k, seed: CompactHammingLinker.record_level(threshold=4, k=k, seed=seed),
+            small_pl_problem,
+            n_trials=1,
+        )
+        assert [label for label, __ in results] == ["K=10", "K=20"]
+        for __, res in results:
+            assert res.n_trials == 1
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["method", "PC"], [["cBV-HB", 0.97], ["BfH", 0.92]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("method")
+        assert "cBV-HB" in lines[2]
+
+    def test_format_table_row_arity(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series("PC", [10, 20], [0.5, 0.75])
+        assert "10 -> 0.5" in text
+        assert text.startswith("series PC:")
+
+    def test_format_series_arity(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1.0, 2.0])
+
+    def test_banner(self):
+        text = banner("Table 3")
+        assert text.splitlines()[1] == "Table 3"

@@ -1,0 +1,98 @@
+"""Tests for repro.data.corpora and repro.data.generators."""
+
+import pytest
+
+from repro.data.corpora import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    STREET_NAMES,
+    TITLE_WORDS,
+    TOWNS,
+    length_tilt,
+)
+from repro.data.generators import (
+    DBLPGenerator,
+    NCVRGenerator,
+    average_qgram_counts,
+)
+from repro.text.alphabet import TEXT_ALPHABET
+
+
+class TestCorpora:
+    @pytest.mark.parametrize(
+        "corpus", [FIRST_NAMES, LAST_NAMES, STREET_NAMES, TOWNS, TITLE_WORDS]
+    )
+    def test_unique_and_normalised(self, corpus):
+        assert len(set(corpus)) == len(corpus)
+        for word in corpus:
+            assert word == word.upper()
+            assert all(ch in TEXT_ALPHABET for ch in word)
+
+    def test_length_tilt_hits_target(self):
+        weights = length_tilt(FIRST_NAMES, 6.1)
+        mean = sum(w * len(word) for w, word in zip(weights, FIRST_NAMES))
+        assert mean == pytest.approx(6.1, abs=0.01)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_length_tilt_unattainable_target(self):
+        with pytest.raises(ValueError):
+            length_tilt(FIRST_NAMES, 100.0)
+
+
+class TestNCVRGenerator:
+    def test_deterministic_under_seed(self):
+        g = NCVRGenerator()
+        d1 = g.generate(50, seed=5)
+        d2 = g.generate(50, seed=5)
+        assert d1.value_rows() == d2.value_rows()
+
+    def test_different_seeds_differ(self):
+        g = NCVRGenerator()
+        assert g.generate(50, seed=1).value_rows() != g.generate(50, seed=2).value_rows()
+
+    def test_schema_attributes(self):
+        ds = NCVRGenerator().generate(10, seed=0)
+        assert ds.schema.names == ("FirstName", "LastName", "Address", "Town")
+
+    def test_bigram_counts_near_table3(self):
+        """Measured b^(f_i) within 10% of the paper's Table 3 values."""
+        ds = NCVRGenerator().generate(3000, seed=7)
+        b = average_qgram_counts(ds)
+        assert b["FirstName"] == pytest.approx(5.1, rel=0.1)
+        assert b["LastName"] == pytest.approx(5.0, rel=0.1)
+        assert b["Address"] == pytest.approx(20.0, rel=0.1)
+        assert b["Town"] == pytest.approx(7.2, rel=0.1)
+
+    def test_values_in_experiment_alphabet(self):
+        ds = NCVRGenerator().generate(100, seed=3)
+        for record in ds:
+            for value in record.values:
+                assert all(ch in TEXT_ALPHABET for ch in value)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NCVRGenerator().generate(0)
+
+
+class TestDBLPGenerator:
+    def test_schema_attributes(self):
+        ds = DBLPGenerator().generate(10, seed=0)
+        assert ds.schema.names == ("FirstName", "LastName", "Title", "Year")
+
+    def test_bigram_counts_near_table3(self):
+        ds = DBLPGenerator().generate(3000, seed=7)
+        b = average_qgram_counts(ds)
+        assert b["FirstName"] == pytest.approx(4.8, rel=0.1)
+        assert b["LastName"] == pytest.approx(6.2, rel=0.1)
+        assert b["Title"] == pytest.approx(64.8, rel=0.1)
+        assert b["Year"] == pytest.approx(3.0, abs=0.01)
+
+    def test_year_is_four_digits(self):
+        ds = DBLPGenerator().generate(100, seed=1)
+        for year in ds.column("Year"):
+            assert len(year) == 4 and year.isdigit()
+            assert 1970 <= int(year) <= 2015
+
+    def test_titles_are_multiword(self):
+        ds = DBLPGenerator().generate(50, seed=2)
+        assert all(" " in title for title in ds.column("Title"))

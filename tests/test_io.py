@@ -1,0 +1,90 @@
+"""Tests for repro.data.io — CSV round-trips."""
+
+import pytest
+
+from repro.data import NCVRGenerator
+from repro.data.io import read_dataset, write_dataset, write_matches
+
+
+@pytest.fixture
+def dataset():
+    return NCVRGenerator().generate(50, seed=3)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_everything(self, dataset, tmp_path):
+        path = tmp_path / "voters.csv"
+        write_dataset(dataset, path)
+        loaded = read_dataset(path)
+        assert loaded.schema.names == dataset.schema.names
+        assert [r.record_id for r in loaded] == [r.record_id for r in dataset]
+        assert loaded.value_rows() == dataset.value_rows()
+
+    def test_id_column_autodetected(self, dataset, tmp_path):
+        path = tmp_path / "voters.csv"
+        write_dataset(dataset, path)
+        loaded = read_dataset(path)
+        assert "id" not in loaded.schema.names
+
+    def test_explicit_attribute_subset(self, dataset, tmp_path):
+        path = tmp_path / "voters.csv"
+        write_dataset(dataset, path)
+        loaded = read_dataset(path, attributes=["LastName", "Town"])
+        assert loaded.schema.names == ("LastName", "Town")
+        assert loaded[0].values == (dataset[0].values[1], dataset[0].values[3])
+
+
+class TestReadValidation:
+    def test_missing_column_rejected(self, dataset, tmp_path):
+        path = tmp_path / "voters.csv"
+        write_dataset(dataset, path)
+        with pytest.raises(ValueError, match="lacks columns"):
+            read_dataset(path, attributes=["Nope"])
+
+    def test_missing_id_column_rejected(self, dataset, tmp_path):
+        path = tmp_path / "voters.csv"
+        write_dataset(dataset, path)
+        with pytest.raises(ValueError, match="id column"):
+            read_dataset(path, id_column="uuid")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("id,Name\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_dataset(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            read_dataset(path)
+
+
+class TestNormalisation:
+    def test_values_normalised_on_read(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text("id,Name\nr1,\" o'brien, jr. \"\n")
+        loaded = read_dataset(path)
+        assert loaded[0].values == ("OBRIEN JR",)
+
+    def test_raw_mode(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text("id,Name\nr1,miXed\n")
+        loaded = read_dataset(path, normalize_values=False)
+        assert loaded[0].values == ("miXed",)
+
+    def test_missing_cell_becomes_empty(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("id,A,B\nr1,X,\n")
+        loaded = read_dataset(path)
+        assert loaded[0].values == ("X", "")
+
+
+class TestWriteMatches:
+    def test_matches_written_with_ids(self, dataset, tmp_path):
+        path = tmp_path / "matches.csv"
+        count = write_matches({(0, 1), (2, 3)}, dataset, dataset, path)
+        assert count == 2
+        lines = path.read_text().splitlines()
+        assert lines[0] == "id_a,id_b"
+        assert f"{dataset[0].record_id},{dataset[1].record_id}" in lines

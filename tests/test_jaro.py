@@ -1,0 +1,62 @@
+"""Tests for repro.text.jaro."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.jaro import jaro, jaro_winkler, jaro_winkler_distance
+
+WORDS = st.text(alphabet="ABCDE", max_size=10)
+
+
+class TestJaro:
+    def test_classic_martha_example(self):
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_identical(self):
+        assert jaro("DWAYNE", "DWAYNE") == 1.0
+
+    def test_disjoint(self):
+        assert jaro("ABC", "XYZ") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro("", "ABC") == 0.0
+
+    def test_both_empty_are_identical(self):
+        assert jaro("", "") == 1.0
+
+    @given(WORDS, WORDS)
+    def test_range(self, s1, s2):
+        assert 0.0 <= jaro(s1, s2) <= 1.0
+
+    @given(WORDS, WORDS)
+    def test_symmetry(self, s1, s2):
+        assert jaro(s1, s2) == pytest.approx(jaro(s2, s1))
+
+
+class TestJaroWinkler:
+    def test_prefix_bonus(self):
+        assert jaro_winkler("MARTHA", "MARHTA") > jaro("MARTHA", "MARHTA")
+
+    def test_no_bonus_without_common_prefix(self):
+        s1, s2 = "ABCD", "XBCD"
+        assert jaro_winkler(s1, s2) == pytest.approx(jaro(s1, s2))
+
+    def test_prefix_capped_at_four(self):
+        # Identical 5-char prefix scores the same as identical 4-char prefix
+        # (relative to the same base Jaro).
+        base = jaro("ABCDEF", "ABCDEX")
+        expected = base + 4 * 0.1 * (1 - base)
+        assert jaro_winkler("ABCDEF", "ABCDEX") == pytest.approx(expected)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("A", "B", prefix_scale=0.5)
+
+    @given(WORDS, WORDS)
+    def test_at_least_jaro(self, s1, s2):
+        assert jaro_winkler(s1, s2) >= jaro(s1, s2) - 1e-12
+
+    @given(WORDS, WORDS)
+    def test_distance_complements_similarity(self, s1, s2):
+        assert jaro_winkler_distance(s1, s2) == pytest.approx(1.0 - jaro_winkler(s1, s2))

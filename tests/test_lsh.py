@@ -1,0 +1,151 @@
+"""Tests for repro.hamming.lsh — the HB blocking/matching mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.hamming.bitmatrix import BitMatrix, scatter_bits
+from repro.hamming.bitvector import BitVector
+from repro.hamming.lsh import BlockingGroup, CompositeHash, HammingLSH
+
+
+def random_matrix(seed, n_rows, n_bits, density=0.3):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_rows, n_bits)) < density
+    rows, bits = np.nonzero(mask)
+    return scatter_bits(n_rows, n_bits, rows, bits)
+
+
+class TestCompositeHash:
+    def test_key_packs_sampled_bits(self):
+        v = BitVector.from_bits([1, 0, 1, 1])
+        h = CompositeHash(positions=(0, 1, 3))
+        assert h.key_for(v) == 0b101  # bits 1, 0, 1 packed low-endian
+
+    def test_keys_for_matches_scalar_path(self):
+        matrix = random_matrix(0, 10, 50)
+        h = CompositeHash(positions=(3, 17, 44, 44))
+        keys = h.keys_for(matrix)
+        for i in range(10):
+            assert keys[i] == h.key_for(matrix.row(i))
+
+    def test_repeated_positions_allowed(self):
+        # Base hashes sample with replacement (uniformly at random).
+        v = BitVector.from_bits([1, 0])
+        assert CompositeHash(positions=(0, 0)).key_for(v) == 0b11
+
+
+class TestBlockingGroup:
+    def test_insert_matrix_groups_equal_keys(self):
+        matrix = BitMatrix.from_index_sets([[0], [0], [1]], 8)
+        group = BlockingGroup(CompositeHash(positions=(0,)))
+        group.insert_matrix(matrix)
+        assert sorted(group.probe(matrix.row(0))) == [0, 1]
+        assert group.probe(matrix.row(2)) == [2]
+
+    def test_streaming_insert_agrees_with_bulk(self):
+        matrix = random_matrix(1, 20, 40)
+        bulk = BlockingGroup(CompositeHash(positions=(1, 5, 30)))
+        bulk.insert_matrix(matrix)
+        stream = BlockingGroup(CompositeHash(positions=(1, 5, 30)))
+        for i in range(20):
+            stream.insert(matrix.row(i), i)
+        for i in range(20):
+            assert sorted(bulk.probe(matrix.row(i))) == sorted(stream.probe(matrix.row(i)))
+
+    def test_bucket_sizes(self):
+        matrix = BitMatrix.from_index_sets([[0], [0], [1]], 8)
+        group = BlockingGroup(CompositeHash(positions=(0,)))
+        group.insert_matrix(matrix)
+        assert sorted(group.bucket_sizes().tolist()) == [1, 2]
+
+
+class TestHammingLSH:
+    def test_l_from_equation_2(self):
+        lsh = HammingLSH(n_bits=120, k=30, threshold=4, delta=0.1, seed=0)
+        assert lsh.n_tables == 6
+
+    def test_explicit_tables_override(self):
+        lsh = HammingLSH(n_bits=120, k=5, n_tables=12, seed=0)
+        assert lsh.n_tables == 12
+
+    def test_requires_threshold_or_tables(self):
+        with pytest.raises(ValueError):
+            HammingLSH(n_bits=10, k=2)
+
+    def test_identical_vectors_always_candidates(self):
+        matrix = random_matrix(2, 30, 60)
+        lsh = HammingLSH(n_bits=60, k=8, n_tables=4, seed=3)
+        lsh.index(matrix)
+        rows_a, rows_b = lsh.candidate_pairs(matrix)
+        pairs = set(zip(rows_a.tolist(), rows_b.tolist()))
+        for i in range(30):
+            assert (i, i) in pairs  # identical vector collides in every table
+
+    def test_candidates_deduplicated(self):
+        matrix = random_matrix(3, 10, 40)
+        lsh = HammingLSH(n_bits=40, k=4, n_tables=8, seed=4)
+        lsh.index(matrix)
+        rows_a, rows_b = lsh.candidate_pairs(matrix)
+        encoded = rows_a * 10 + rows_b
+        assert len(np.unique(encoded)) == len(encoded)
+
+    def test_match_filters_by_threshold(self):
+        matrix = random_matrix(5, 20, 60)
+        lsh = HammingLSH(n_bits=60, k=6, threshold=5, seed=5)
+        lsh.index(matrix)
+        rows_a, rows_b, dists = lsh.match(matrix, matrix)
+        assert (dists <= 5).all()
+        for a, b, d in zip(rows_a, rows_b, dists):
+            assert matrix.row(int(a)).hamming(matrix.row(int(b))) == d
+
+    def test_query_unique_ids(self):
+        matrix = random_matrix(6, 15, 40)
+        lsh = HammingLSH(n_bits=40, k=3, n_tables=10, seed=6)
+        lsh.index(matrix)
+        ids = lsh.query(matrix.row(0))
+        assert len(ids) == len(set(ids))
+        assert 0 in ids
+
+    def test_recall_guarantee_empirically(self):
+        """Pairs within the threshold are found at rate >= 1 - delta."""
+        rng = np.random.default_rng(7)
+        n, n_bits, threshold = 300, 120, 4
+        base = (rng.random((n, n_bits)) < 0.25).astype(np.uint8)
+        # Perturb exactly `threshold` bits of each row.
+        noisy = base.copy()
+        for i in range(n):
+            flips = rng.choice(n_bits, size=threshold, replace=False)
+            noisy[i, flips] ^= 1
+        def pack(arr):
+            rows, bits = np.nonzero(arr)
+            return scatter_bits(n, n_bits, rows, bits)
+        ma, mb = pack(base), pack(noisy)
+        lsh = HammingLSH(n_bits=n_bits, k=30, threshold=threshold, delta=0.1, seed=8)
+        lsh.index(ma)
+        rows_a, rows_b, __ = lsh.match(ma, mb)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        recall = sum((i, i) in found for i in range(n)) / n
+        assert recall >= 0.9  # 1 - delta
+
+    def test_width_mismatch_rejected(self):
+        lsh = HammingLSH(n_bits=40, k=3, n_tables=2, seed=0)
+        with pytest.raises(ValueError):
+            lsh.index(BitMatrix.zeros(2, 41))
+        with pytest.raises(ValueError):
+            lsh.insert(BitVector(41), 0)
+
+    def test_stats(self):
+        matrix = random_matrix(9, 25, 50)
+        lsh = HammingLSH(n_bits=50, k=4, n_tables=3, seed=9)
+        lsh.index(matrix)
+        stats = lsh.stats()
+        assert stats["n_tables"] == 3
+        assert stats["n_buckets"] >= 3
+        assert stats["max_bucket"] >= stats["mean_bucket"]
+
+    def test_empty_candidates_before_index(self):
+        lsh = HammingLSH(n_bits=40, k=3, n_tables=2, seed=1)
+        rows_a, rows_b = lsh.candidate_pairs(BitMatrix.zeros(3, 40))
+        # Nothing indexed: every probe misses except shared empty buckets
+        # don't exist yet, so no pairs at all.
+        assert rows_a.size == 0 and rows_b.size == 0

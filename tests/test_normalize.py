@@ -1,0 +1,70 @@
+"""Tests for repro.text.normalize."""
+
+import pytest
+
+from repro.text.alphabet import TEXT_ALPHABET
+from repro.text.normalize import normalize, pad, strip_accents
+
+
+class TestStripAccents:
+    def test_umlaut(self):
+        assert strip_accents("Müller") == "Muller"
+
+    def test_acute(self):
+        assert strip_accents("José") == "Jose"
+
+    def test_plain_ascii_unchanged(self):
+        assert strip_accents("SMITH") == "SMITH"
+
+
+class TestNormalize:
+    def test_uppercases(self):
+        assert normalize("jones") == "JONES"
+
+    def test_drops_punctuation_by_default(self):
+        assert normalize("O'BRIEN, JR.") == "OBRIENJR"
+
+    def test_keeps_spaces_with_text_alphabet(self):
+        assert normalize("12 main st", alphabet=TEXT_ALPHABET) == "12 MAIN ST"
+
+    def test_drops_digits_with_default_alphabet(self):
+        assert normalize("AB12CD") == "ABCD"
+
+    def test_replace_policy(self):
+        assert normalize("A-B", unknown="replace", replacement="X") == "AXB"
+
+    def test_error_policy(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            normalize("A-B", unknown="error")
+
+    def test_collapses_whitespace(self):
+        assert normalize("  A   B  ", alphabet=TEXT_ALPHABET) == "A B"
+
+    def test_accent_then_filter(self):
+        assert normalize("Björk") == "BJORK"
+
+    def test_empty_string(self):
+        assert normalize("") == ""
+
+
+class TestPad:
+    def test_bigram_padding_matches_paper_footnote(self):
+        # Footnote 4: '_JONES_'.
+        assert pad("JONES", 2) == "_JONES_"
+
+    def test_trigram_padding(self):
+        assert pad("AB", 3) == "__AB__"
+
+    def test_q1_no_padding(self):
+        assert pad("ABC", 1) == "ABC"
+
+    def test_empty_string_not_padded(self):
+        assert pad("", 2) == ""
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            pad("A", 0)
+
+    def test_multichar_pad_rejected(self):
+        with pytest.raises(ValueError):
+            pad("A", 2, pad_char="__")

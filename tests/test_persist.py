@@ -1,0 +1,88 @@
+"""Tests for repro.core.persist — encoder serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.cvector import CVectorEncoder
+from repro.core.encoder import RecordEncoder
+from repro.core.persist import (
+    encoder_from_dict,
+    encoder_to_dict,
+    load_encoder,
+    save_encoder,
+    scheme_from_dict,
+    scheme_to_dict,
+)
+from repro.core.qgram import QGramScheme
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.text.alphabet import Alphabet
+
+
+@pytest.fixture
+def encoder():
+    return RecordEncoder(
+        [
+            CVectorEncoder(15, scheme=EXPERIMENT_SCHEME, seed=1),
+            CVectorEncoder(68, scheme=EXPERIMENT_SCHEME, seed=2),
+        ],
+        names=["FirstName", "Address"],
+    )
+
+
+class TestSchemeRoundTrip:
+    def test_default_scheme(self):
+        scheme = QGramScheme()
+        assert scheme_from_dict(scheme_to_dict(scheme)) == scheme
+
+    def test_padded_trigram_scheme(self):
+        scheme = QGramScheme(q=3, alphabet=Alphabet.uppercase_padded(), padded=True)
+        loaded = scheme_from_dict(scheme_to_dict(scheme))
+        assert loaded.q == 3
+        assert loaded.padded
+        assert loaded.index_set("JOHN") == scheme.index_set("JOHN")
+
+
+class TestEncoderRoundTrip:
+    def test_dict_round_trip_bit_identical(self, encoder):
+        loaded = encoder_from_dict(encoder_to_dict(encoder))
+        record = ("JONES", "12 MAIN ST APT 4")
+        assert loaded.encode(record) == encoder.encode(record)
+        assert loaded.total_bits == encoder.total_bits
+        assert [l.name for l in loaded.layouts] == ["FirstName", "Address"]
+
+    def test_file_round_trip(self, encoder, tmp_path):
+        path = tmp_path / "encoder.json"
+        save_encoder(encoder, path)
+        loaded = load_encoder(path)
+        record = ("MARIA", "99 OAK AVE")
+        assert loaded.encode(record) == encoder.encode(record)
+
+    def test_file_is_plain_json(self, encoder, tmp_path):
+        path = tmp_path / "encoder.json"
+        save_encoder(encoder, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert len(data["attributes"]) == 2
+
+    def test_version_checked(self, encoder):
+        data = encoder_to_dict(encoder)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            encoder_from_dict(data)
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError, match="no attributes"):
+            encoder_from_dict({"format_version": 1, "attributes": []})
+
+    def test_calibrated_encoder_survives(self, tmp_path):
+        from repro.data import NCVRGenerator
+
+        rows = NCVRGenerator().generate(200, seed=5).value_rows()
+        original = RecordEncoder.calibrated(rows, scheme=EXPERIMENT_SCHEME, seed=5)
+        path = tmp_path / "enc.json"
+        save_encoder(original, path)
+        loaded = load_encoder(path)
+        matrix_original = original.encode_dataset(rows[:20])
+        matrix_loaded = loaded.encode_dataset(rows[:20])
+        assert matrix_original == matrix_loaded

@@ -1,0 +1,135 @@
+"""Cross-module invariants, property-based.
+
+These tie the layers together: whatever strings and parameters hypothesis
+draws, the structural identities the paper's pipeline relies on must hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cvector import CVectorEncoder
+from repro.core.encoder import RecordEncoder
+from repro.core.qgram import QGramScheme, qgram_vector, qgrams
+from repro.hamming.lsh import HammingLSH
+from repro.text.edit_distance import levenshtein
+
+WORD = st.text(alphabet="ABCDEFGHIJ", min_size=2, max_size=10)
+RECORD = st.tuples(WORD, WORD, WORD)
+
+
+def _encoder(seed=0):
+    return RecordEncoder(
+        [CVectorEncoder(12, seed=seed), CVectorEncoder(16, seed=seed + 1),
+         CVectorEncoder(20, seed=seed + 2)],
+        names=["f1", "f2", "f3"],
+    )
+
+
+class TestEncoderIdentities:
+    @given(RECORD, RECORD)
+    @settings(max_examples=60)
+    def test_record_distance_is_sum_of_attribute_distances(self, rec_a, rec_b):
+        """Concatenation makes the record-level Hamming distance decompose
+        exactly into per-attribute distances."""
+        encoder = _encoder()
+        matrix = encoder.encode_dataset([rec_a, rec_b])
+        total = matrix.row(0).hamming(matrix.row(1))
+        parts = encoder.attribute_distances(
+            matrix, np.asarray([0]), matrix, np.asarray([1])
+        )
+        assert total == sum(int(d[0]) for d in parts.values())
+
+    @given(RECORD)
+    @settings(max_examples=30)
+    def test_dataset_encoding_equals_single_encoding(self, record):
+        encoder = _encoder()
+        assert encoder.encode_dataset([record]).row(0) == encoder.encode(record)
+
+    @given(WORD, st.integers(0, 50))
+    @settings(max_examples=60)
+    def test_cvector_popcount_bounded_by_qgrams(self, value, seed):
+        """Hashing can only merge q-grams: |ones| <= |U_s|."""
+        enc = CVectorEncoder(15, seed=seed)
+        assert enc.encode(value).count() <= len(enc.scheme.index_set(value))
+
+
+class TestErrorDistanceBounds:
+    """The §5.1 bounds, generalised to q = 3 ('hold for any q >= 2')."""
+
+    @given(
+        st.text(alphabet="ABCDEFGHIJ", min_size=4, max_size=12),
+        st.integers(0, 9),
+        st.data(),
+    )
+    @settings(max_examples=80)
+    def test_substitution_bound_2q(self, s, letter_idx, data):
+        scheme = QGramScheme(q=3)
+        pos = data.draw(st.integers(0, len(s) - 1))
+        replacement = "ABCDEFGHIJ"[letter_idx]
+        perturbed = s[:pos] + replacement + s[pos + 1 :]
+        dist = scheme.vector(s).hamming(scheme.vector(perturbed))
+        assert dist <= 2 * 3  # alpha = 2q for substitutions
+
+    @given(st.text(alphabet="ABCDEFGHIJ", min_size=4, max_size=12), st.data())
+    @settings(max_examples=80)
+    def test_delete_bound_2q_minus_1(self, s, data):
+        scheme = QGramScheme(q=3)
+        pos = data.draw(st.integers(0, len(s) - 1))
+        perturbed = s[:pos] + s[pos + 1 :]
+        dist = scheme.vector(s).hamming(scheme.vector(perturbed))
+        assert dist <= 2 * 3 - 1  # alpha = 2q - 1 for delete/insert
+
+    @given(WORD, WORD)
+    @settings(max_examples=60)
+    def test_hamming_bounded_by_4_times_edit_distance(self, s1, s2):
+        """u_H <= alpha * u_E with alpha <= 4 for bigrams (Equation 3)."""
+        dist_h = qgram_vector(s1).hamming(qgram_vector(s2))
+        dist_e = levenshtein(s1, s2)
+        assert dist_h <= 4 * dist_e
+
+    @given(WORD)
+    @settings(max_examples=30)
+    def test_qgram_count_consistency(self, s):
+        scheme = QGramScheme()
+        assert scheme.count(s) == len(qgrams(s))
+
+
+class TestLSHInvariants:
+    @given(st.integers(0, 10_000), st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_are_candidate_subset_and_within_threshold(self, seed, k):
+        rng = np.random.default_rng(seed)
+        from repro.hamming.bitmatrix import scatter_bits
+
+        mask = rng.random((30, 64)) < 0.3
+        rows, bits = np.nonzero(mask)
+        matrix = scatter_bits(30, 64, rows, bits)
+        lsh = HammingLSH(n_bits=64, k=k, threshold=6, n_tables=4, seed=seed)
+        lsh.index(matrix)
+        cand_a, cand_b = lsh.candidate_pairs(matrix)
+        rows_a, rows_b, dists = lsh.match(matrix, matrix)
+        candidates = set(zip(cand_a.tolist(), cand_b.tolist()))
+        matches = set(zip(rows_a.tolist(), rows_b.tolist()))
+        assert matches <= candidates
+        assert (dists <= 6).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_streaming_equals_bulk_candidates(self, seed):
+        rng = np.random.default_rng(seed)
+        from repro.hamming.bitmatrix import scatter_bits
+
+        mask = rng.random((20, 40)) < 0.3
+        rows, bits = np.nonzero(mask)
+        matrix = scatter_bits(20, 40, rows, bits)
+        bulk = HammingLSH(n_bits=40, k=4, n_tables=3, seed=seed)
+        bulk.index(matrix)
+        stream = HammingLSH(n_bits=40, k=4, n_tables=3, seed=seed)
+        for i in range(20):
+            stream.insert(matrix.row(i), i)
+        for i in range(20):
+            assert sorted(bulk.query(matrix.row(i))) == sorted(
+                stream.query(matrix.row(i))
+            )

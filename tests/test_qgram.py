@@ -1,0 +1,170 @@
+"""Tests for repro.core.qgram — Algorithm 1 and q-gram vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qgram import (
+    QGramScheme,
+    qgram_from_index,
+    qgram_index,
+    qgram_index_set,
+    qgram_vector,
+    qgrams,
+    record_qgram_vector,
+)
+from repro.text.alphabet import Alphabet, AlphabetError
+
+UPPER = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=0, max_size=15)
+
+
+class TestQGrams:
+    def test_bigrams_of_john(self):
+        assert qgrams("JOHN") == ["JO", "OH", "HN"]
+
+    def test_padded_bigrams(self):
+        assert qgrams("JOHN", padded=True) == ["_J", "JO", "OH", "HN", "N_"]
+
+    def test_too_short_string(self):
+        assert qgrams("A") == []
+        assert qgrams("", padded=True) == []
+
+    def test_unigrams(self):
+        assert qgrams("ABC", q=1) == ["A", "B", "C"]
+
+    def test_trigram_padding(self):
+        grams = qgrams("AB", q=3, padded=True)
+        assert grams[0] == "__A"
+        assert grams[-1] == "B__"
+
+    @given(UPPER, st.integers(min_value=1, max_value=4))
+    def test_count_formula(self, s, q):
+        assert len(qgrams(s, q)) == max(0, len(s) - q + 1)
+
+
+class TestAlgorithm1:
+    def test_paper_figure_1(self):
+        # F('JO') = 248, F('OH') = 371, F('HN') = 195.
+        assert qgram_index("JO") == 248
+        assert qgram_index("OH") == 371
+        assert qgram_index("HN") == 195
+
+    def test_john_index_set(self):
+        assert sorted(qgram_index_set("JOHN")) == [195, 248, 371]
+
+    def test_boundaries(self):
+        assert qgram_index("AA") == 0
+        assert qgram_index("ZZ") == 675
+
+    def test_inverse(self):
+        assert qgram_from_index(248, 2) == "JO"
+
+    @given(st.integers(min_value=0, max_value=675))
+    def test_bijection(self, index):
+        assert qgram_index(qgram_from_index(index, 2)) == index
+
+    def test_empty_gram_rejected(self):
+        with pytest.raises(ValueError):
+            qgram_index("")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(AlphabetError):
+            qgram_index("a!")
+
+    def test_index_out_of_space(self):
+        with pytest.raises(ValueError):
+            qgram_from_index(676, 2)
+
+    def test_custom_alphabet(self):
+        abc = Alphabet("AB")
+        assert qgram_index("BB", abc) == 3
+        assert qgram_from_index(3, 2, abc) == "BB"
+
+
+class TestScheme:
+    def test_space_size(self):
+        assert QGramScheme().space_size == 676
+
+    def test_padded_requires_pad_in_alphabet(self):
+        with pytest.raises(ValueError, match="padding char"):
+            QGramScheme(padded=True)  # default alphabet lacks '_'
+
+    def test_padded_with_proper_alphabet(self):
+        scheme = QGramScheme(alphabet=Alphabet.uppercase_padded(), padded=True)
+        assert len(scheme.index_set("JOHN")) == 5
+
+    def test_count_includes_padding(self):
+        plain = QGramScheme()
+        padded = QGramScheme(alphabet=Alphabet.uppercase_padded(), padded=True)
+        assert plain.count("JONES") == 4
+        assert padded.count("JONES") == 6
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGramScheme(q=0)
+
+
+class TestVectors:
+    def test_vector_width_is_space_size(self):
+        assert qgram_vector("JOHN").n_bits == 676
+
+    def test_vector_sets_exactly_index_set(self):
+        v = qgram_vector("JOHN")
+        assert set(v.indices()) == set(qgram_index_set("JOHN"))
+
+    def test_repeated_grams_collapse(self):
+        # 'AAA' yields bigram 'AA' twice but one set position.
+        assert qgram_vector("AAA").count() == 1
+
+    def test_record_vector_concatenates(self):
+        v = record_qgram_vector(["AB", "CD"])
+        assert v.n_bits == 2 * 676
+        assert v.count() == 2
+
+    def test_record_vector_rejects_empty(self):
+        with pytest.raises(ValueError):
+            record_qgram_vector([])
+
+
+class TestPaperDistanceCorrespondence:
+    """Section 5.1: types of errors in E map to bounded distances in H."""
+
+    def test_substitution_jones_jonas(self):
+        v1, v2 = qgram_vector("JONES"), qgram_vector("JONAS")
+        assert v1.hamming(v2) == 4
+
+    def test_substitution_with_overlap_shannen(self):
+        v1, v2 = qgram_vector("SHANNEN"), qgram_vector("SHENNEN")
+        assert v1.hamming(v2) == 3
+
+    def test_delete_jones_jons(self):
+        v1, v2 = qgram_vector("JONES"), qgram_vector("JONS")
+        assert v1.hamming(v2) == 3
+
+    def test_insert_jones_joneas(self):
+        v1, v2 = qgram_vector("JONES"), qgram_vector("JONEAS")
+        assert v1.hamming(v2) == 3
+
+    @given(UPPER.filter(lambda s: len(s) >= 3), st.integers(0, 25), st.data())
+    @settings(max_examples=100)
+    def test_substitution_bound_alpha_4(self, s, letter, data):
+        """One substitution moves Hamming distance by at most 4 (q=2)."""
+        pos = data.draw(st.integers(0, len(s) - 1))
+        new_char = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"[letter]
+        perturbed = s[:pos] + new_char + s[pos + 1 :]
+        assert qgram_vector(s).hamming(qgram_vector(perturbed)) <= 4
+
+    @given(UPPER.filter(lambda s: len(s) >= 3), st.data())
+    @settings(max_examples=100)
+    def test_delete_bound_alpha_3(self, s, data):
+        """One deletion moves Hamming distance by at most 3 (q=2)."""
+        pos = data.draw(st.integers(0, len(s) - 1))
+        perturbed = s[:pos] + s[pos + 1 :]
+        assert qgram_vector(s).hamming(qgram_vector(perturbed)) <= 3
+
+    def test_length_independence(self):
+        """Unlike Jaccard, the Hamming distance of one substitution does not
+        depend on string length (paper's WASHINGTON example)."""
+        short = qgram_vector("JONES").hamming(qgram_vector("JONAS"))
+        long = qgram_vector("WASHINGTON").hamming(qgram_vector("WASHANGTON"))
+        assert short == long == 4

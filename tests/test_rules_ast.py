@@ -1,0 +1,98 @@
+"""Tests for repro.rules.ast."""
+
+import numpy as np
+import pytest
+
+from repro.rules.ast import And, Comparison, Not, Or, RuleError, comparison, conjunction
+
+
+class TestComparison:
+    def test_scalar_evaluation(self):
+        cmp = Comparison("f1", 4)
+        assert cmp.evaluate({"f1": 4}) is True
+        assert cmp.evaluate({"f1": 5}) is False
+
+    def test_vectorised_evaluation(self):
+        cmp = Comparison("f1", 4)
+        result = cmp.evaluate({"f1": np.asarray([0, 4, 5])})
+        assert result.tolist() == [True, True, False]
+
+    def test_missing_attribute(self):
+        with pytest.raises(RuleError, match="no distance"):
+            Comparison("f1", 4).evaluate({"f2": 1})
+
+    def test_validation(self):
+        with pytest.raises(RuleError):
+            Comparison("", 4)
+        with pytest.raises(RuleError):
+            Comparison("f1", -1)
+
+    def test_str(self):
+        assert str(Comparison("f1", 4)) == "(f1 <= 4)"
+        assert str(Comparison("f1", 4.5)) == "(f1 <= 4.5)"
+
+
+class TestBooleanNodes:
+    def test_and_all_must_hold(self):
+        rule = And([Comparison("f1", 4), Comparison("f2", 8)])
+        assert rule.evaluate({"f1": 4, "f2": 8})
+        assert not rule.evaluate({"f1": 5, "f2": 8})
+
+    def test_or_any_may_hold(self):
+        rule = Or([Comparison("f1", 4), Comparison("f2", 8)])
+        assert rule.evaluate({"f1": 99, "f2": 8})
+        assert not rule.evaluate({"f1": 99, "f2": 99})
+
+    def test_not_inverts(self):
+        rule = Not(Comparison("f1", 4))
+        assert rule.evaluate({"f1": 5})
+        assert not rule.evaluate({"f1": 4})
+
+    def test_vectorised_compound(self):
+        rule = And([Comparison("f1", 4), Not(Comparison("f2", 2))])
+        result = rule.evaluate(
+            {"f1": np.asarray([1, 1, 9]), "f2": np.asarray([5, 1, 5])}
+        )
+        assert result.tolist() == [True, False, False]
+
+    def test_binary_arity_enforced(self):
+        with pytest.raises(RuleError):
+            And([Comparison("f1", 4)])
+        with pytest.raises(RuleError):
+            Or([])
+
+    def test_operator_overloads(self):
+        rule = (comparison("f1", 4) & comparison("f2", 8)) | ~comparison("f3", 2)
+        assert isinstance(rule, Or)
+        assert rule.evaluate({"f1": 9, "f2": 9, "f3": 3})
+
+
+class TestIntrospection:
+    def test_attributes_collected(self):
+        rule = And([Comparison("f1", 4), Or([Comparison("f2", 1), Not(Comparison("f3", 2))])])
+        assert rule.attributes() == {"f1", "f2", "f3"}
+
+    def test_comparisons_in_order(self):
+        rule = And([Comparison("f1", 4), Comparison("f2", 8)])
+        assert [c.attribute for c in rule.comparisons()] == ["f1", "f2"]
+
+    def test_paper_rule_strings(self):
+        c1 = And([Comparison("f1", 4), Comparison("f2", 4), Comparison("f3", 8)])
+        assert str(c1) == "[(f1 <= 4) & (f2 <= 4) & (f3 <= 8)]"
+        c3 = And([Comparison("f1", 4), Not(Comparison("f2", 4))])
+        assert str(c3) == "[(f1 <= 4) & !(f2 <= 4)]"
+
+
+class TestConjunctionHelper:
+    def test_single(self):
+        rule = conjunction({"f1": 4})
+        assert isinstance(rule, Comparison)
+
+    def test_multiple(self):
+        rule = conjunction({"f1": 4, "f2": 8})
+        assert isinstance(rule, And)
+        assert len(rule.children) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuleError):
+            conjunction({})

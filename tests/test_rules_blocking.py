@@ -1,0 +1,158 @@
+"""Tests for repro.rules.blocking — rule-aware attribute-level LSH."""
+
+import numpy as np
+import pytest
+
+from repro.rules.ast import RuleError
+from repro.rules.blocking import RuleAwareBlocker
+from repro.rules.parser import parse_rule
+
+K = {"f1": 5, "f2": 5, "f3": 10, "f4": 4}
+
+RECORDS_A = [
+    ("JONES", "SMITH", "12 MAIN ST APT 4", "BOONE"),
+    ("MARIA", "GARCIA", "99 OAK AVE", "DURHAM"),
+    ("PETER", "WALKER", "7 ELM DR", "APEX"),
+]
+# B: row 0 perturbs A0's f1 by one substitution; row 1 is unrelated; row 2
+# perturbs A2's f2 heavily (5 edits) to violate a f2 rule.
+RECORDS_B = [
+    ("JANES", "SMITH", "12 MAIN ST APT 4", "BOONE"),
+    ("XXXXX", "YYYYY", "0 ZZZ QQ", "WWWW"),
+    ("PETER", "WOLKOR", "7 ELM DR", "APEX"),
+]
+
+
+@pytest.fixture
+def matrices(ncvr_encoder):
+    return (
+        ncvr_encoder.encode_dataset(RECORDS_A),
+        ncvr_encoder.encode_dataset(RECORDS_B),
+    )
+
+
+class TestCompilation:
+    def test_c1_single_structure_with_paper_l(self, ncvr_encoder):
+        blocker = RuleAwareBlocker(
+            parse_rule("(f1<=4) & (f2<=4) & (f3<=8)"), ncvr_encoder, k=K, seed=1
+        )
+        assert len(blocker.structures) == 1
+        assert blocker.structures[0].n_tables == 178
+        assert blocker.total_tables == 178
+
+    def test_or_builds_structure_per_arm_with_shared_l(self, ncvr_encoder):
+        blocker = RuleAwareBlocker(
+            parse_rule("(f1<=4) | (f2<=4)"), ncvr_encoder, k=K, seed=1
+        )
+        assert len(blocker.structures) == 2
+        # Definition 5: both arms share the OR's L.
+        assert blocker.structures[0].n_tables == blocker.structures[1].n_tables
+
+    def test_c3_not_keeps_unmodified_child_structure(self, ncvr_encoder):
+        blocker = RuleAwareBlocker(
+            parse_rule("(f1<=4) & !(f2<=4)"), ncvr_encoder, k=K, seed=1
+        )
+        # Two structures: the positive f1 one and the f2 exclusion one.
+        assert len(blocker.structures) == 2
+
+    def test_bare_not_rejected(self, ncvr_encoder):
+        with pytest.raises(RuleError, match="positive"):
+            RuleAwareBlocker(parse_rule("!(f1<=4)"), ncvr_encoder, k=K, seed=1)
+
+    def test_missing_k_rejected(self, ncvr_encoder):
+        with pytest.raises(RuleError, match="no K"):
+            RuleAwareBlocker(parse_rule("(f1<=4)"), ncvr_encoder, k={}, seed=1)
+
+    def test_threshold_above_width_rejected(self, ncvr_encoder):
+        with pytest.raises(RuleError, match="exceeds"):
+            RuleAwareBlocker(parse_rule("(f1<=99)"), ncvr_encoder, k=K, seed=1)
+
+    def test_nested_and_flattened(self, ncvr_encoder):
+        blocker = RuleAwareBlocker(
+            parse_rule("((f1<=4) & (f2<=4)) & (f3<=8)"), ncvr_encoder, k=K, seed=1
+        )
+        assert len(blocker.structures) == 1
+        assert blocker.structures[0].n_tables == 178
+
+
+class TestBlockingSemantics:
+    def test_and_candidates_satisfy_rule_mostly(self, ncvr_encoder, matrices):
+        matrix_a, matrix_b = matrices
+        rule = parse_rule("(f1<=4) & (f2<=4) & (f3<=8)")
+        blocker = RuleAwareBlocker(rule, ncvr_encoder, k=K, seed=2)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        pairs = set(zip(rows_a.tolist(), rows_b.tolist()))
+        assert (0, 0) in pairs  # single substitution on f1 passes
+        assert (1, 1) not in pairs  # unrelated record
+
+    def test_not_excludes_candidates(self, ncvr_encoder, matrices):
+        matrix_a, matrix_b = matrices
+        rule = parse_rule("(f1<=4) & !(f2<=4)")
+        blocker = RuleAwareBlocker(rule, ncvr_encoder, k=K, seed=3)
+        blocker.index(matrix_a)
+        cand_a, cand_b = blocker.candidate_pairs(matrix_b)
+        pairs = set(zip(cand_a.tolist(), cand_b.tolist()))
+        # (0, 0) matches on f1 AND on f2 -> the f2 structure excludes it
+        # with high probability (L tables must all miss to keep it).
+        assert (0, 0) not in pairs
+
+    def test_not_semantics_in_match(self, ncvr_encoder, matrices):
+        matrix_a, matrix_b = matrices
+        rule = parse_rule("(f1<=4) & !(f2<=4)")
+        blocker = RuleAwareBlocker(rule, ncvr_encoder, k=K, seed=3)
+        blocker.index(matrix_a)
+        rows_a, rows_b, distances = blocker.match(matrix_b)
+        # Any accepted pair truly satisfies the rule on measured distances.
+        if rows_a.size:
+            assert (distances["f1"] <= 4).all()
+            assert (distances["f2"] > 4).all()
+
+    def test_or_unions_arms(self, ncvr_encoder, matrices):
+        matrix_a, matrix_b = matrices
+        rule = parse_rule("(f1<=4) | (f2<=4)")
+        blocker = RuleAwareBlocker(rule, ncvr_encoder, k=K, seed=4)
+        blocker.index(matrix_a)
+        rows_a, rows_b, __ = blocker.match(matrix_b)
+        pairs = set(zip(rows_a.tolist(), rows_b.tolist()))
+        # (2, 2): f1 identical (distance 0) satisfies the first arm even
+        # though f2 was heavily perturbed.
+        assert (2, 2) in pairs
+
+    def test_match_before_index_rejected(self, ncvr_encoder, matrices):
+        __, matrix_b = matrices
+        blocker = RuleAwareBlocker(parse_rule("(f1<=4)"), ncvr_encoder, k=K, seed=5)
+        with pytest.raises(RuleError, match="index"):
+            blocker.candidate_pairs(matrix_b)
+
+    def test_wrong_width_rejected(self, ncvr_encoder):
+        from repro.hamming.bitmatrix import BitMatrix
+
+        blocker = RuleAwareBlocker(parse_rule("(f1<=4)"), ncvr_encoder, k=K, seed=5)
+        with pytest.raises(RuleError, match="width"):
+            blocker.index(BitMatrix.zeros(2, 8))
+
+
+class TestRecallGuarantee:
+    def test_and_rule_recall(self, ncvr_encoder):
+        """Pairs satisfying the AND rule are formulated at rate >= 1 - delta."""
+        rng = np.random.default_rng(6)
+        letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+        def word(n):
+            return "".join(letters[i] for i in rng.integers(0, 26, size=n))
+
+        records_a = [(word(6), word(6), word(21), word(8)) for __ in range(150)]
+        # One substitution in f1 only: guaranteed within all thresholds.
+        records_b = [
+            ("Q" + rec[0][1:], rec[1], rec[2], rec[3]) for rec in records_a
+        ]
+        ma = ncvr_encoder.encode_dataset(records_a)
+        mb = ncvr_encoder.encode_dataset(records_b)
+        rule = parse_rule("(f1<=4) & (f2<=4) & (f3<=8)")
+        blocker = RuleAwareBlocker(rule, ncvr_encoder, k=K, delta=0.1, seed=7)
+        blocker.index(ma)
+        rows_a, rows_b, __ = blocker.match(mb)
+        found = set(zip(rows_a.tolist(), rows_b.tolist()))
+        recall = sum((i, i) in found for i in range(150)) / 150
+        assert recall >= 0.9

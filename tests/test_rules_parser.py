@@ -1,0 +1,113 @@
+"""Tests for repro.rules.parser."""
+
+import pytest
+
+from repro.rules.ast import And, Comparison, Not, Or, RuleError
+from repro.rules.parser import parse_rule
+
+
+class TestBasicParsing:
+    def test_single_comparison(self):
+        rule = parse_rule("f1 <= 4")
+        assert rule == Comparison("f1", 4)
+
+    def test_parenthesised_comparison(self):
+        assert parse_rule("(f1 <= 4)") == Comparison("f1", 4)
+
+    def test_float_threshold(self):
+        assert parse_rule("f1 <= 4.5") == Comparison("f1", 4.5)
+
+    def test_and_chain(self):
+        rule = parse_rule("(f1<=4) & (f2<=4) & (f3<=8)")
+        assert isinstance(rule, And)
+        assert len(rule.children) == 3
+
+    def test_or_chain(self):
+        rule = parse_rule("(f1<=4) | (f2<=4)")
+        assert isinstance(rule, Or)
+
+    def test_not(self):
+        rule = parse_rule("!(f2 <= 4)")
+        assert rule == Not(Comparison("f2", 4))
+
+    def test_keyword_operators(self):
+        rule = parse_rule("f1<=4 and not f2<=8 or f3<=1")
+        assert isinstance(rule, Or)
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        rule = parse_rule("f1<=1 & f2<=2 | f3<=3")
+        assert isinstance(rule, Or)
+        assert isinstance(rule.children[0], And)
+
+    def test_brackets_override(self):
+        rule = parse_rule("f1<=1 & (f2<=2 | f3<=3)")
+        assert isinstance(rule, And)
+        assert isinstance(rule.children[1], Or)
+
+    def test_square_brackets_as_in_paper(self):
+        rule = parse_rule("[(f1 <= 4) & (f2 <= 4)] | (f3 <= 8)")
+        assert isinstance(rule, Or)
+        assert isinstance(rule.children[0], And)
+
+    def test_not_binds_tightest(self):
+        rule = parse_rule("!f1<=1 & f2<=2")
+        assert isinstance(rule, And)
+        assert isinstance(rule.children[0], Not)
+
+    def test_double_negation(self):
+        rule = parse_rule("!!(f1<=1)")
+        assert rule == Not(Not(Comparison("f1", 1)))
+
+
+class TestPaperRules:
+    def test_c1(self):
+        rule = parse_rule("(f1<=4) & (f2<=4) & (f3<=8)")
+        assert rule.evaluate({"f1": 3, "f2": 4, "f3": 8})
+        assert not rule.evaluate({"f1": 3, "f2": 5, "f3": 8})
+
+    def test_c2(self):
+        rule = parse_rule("[(f1<=4) & (f2<=4)] | (f3<=8)")
+        assert rule.evaluate({"f1": 9, "f2": 9, "f3": 8})
+
+    def test_c3(self):
+        rule = parse_rule("(f1<=4) & !(f2<=4)")
+        assert rule.evaluate({"f1": 2, "f2": 9})
+        assert not rule.evaluate({"f1": 2, "f2": 2})
+
+    def test_compound_c1_section_5_4(self):
+        text = "[(f1<=1) & (f2<=2)] | [(f3<=3) & (f4<=4)]"
+        rule = parse_rule(text)
+        assert isinstance(rule, Or)
+        assert all(isinstance(c, And) for c in rule.children)
+
+    def test_unicode_operators(self):
+        rule = parse_rule("(f1<=4) ∧ ¬(f2<=4)")
+        assert isinstance(rule, And)
+        assert isinstance(rule.children[1], Not)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "f1 <=",
+            "<= 4",
+            "f1 <= 4 &",
+            "(f1 <= 4",
+            "f1 <= 4)",
+            "f1 >= 4",
+            "f1 <= 4 4",
+            "& f1 <= 4",
+        ],
+    )
+    def test_malformed_rules_raise(self, text):
+        with pytest.raises(RuleError):
+            parse_rule(text)
+
+    def test_roundtrip_through_str(self):
+        text = "[(f1 <= 4) & !(f2 <= 8)] | (f3 <= 1)"
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule

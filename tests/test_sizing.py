@@ -1,0 +1,133 @@
+"""Tests for repro.core.sizing — Lemma 1 and Theorem 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sizing import (
+    expected_collisions,
+    expected_set_positions,
+    optimal_cvector_size,
+    record_size,
+    size_attribute,
+)
+
+
+class TestLemma1:
+    def test_expected_ones_formula(self):
+        # E[v] = m (1 - (1 - 1/m)^b), Equation (6).
+        assert expected_set_positions(5.0, 15) == pytest.approx(
+            15 * (1 - (1 - 1 / 15) ** 5)
+        )
+
+    def test_collisions_complement(self):
+        b, m = 7.0, 20
+        assert expected_collisions(b, m) == pytest.approx(b - expected_set_positions(b, m))
+
+    def test_zero_grams(self):
+        assert expected_set_positions(0.0, 10) == 0.0
+        assert expected_collisions(0.0, 10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_set_positions(5.0, 0)
+        with pytest.raises(ValueError):
+            expected_set_positions(-1.0, 10)
+
+    @given(st.floats(min_value=0.5, max_value=100), st.integers(1, 2000))
+    def test_collisions_nonnegative_and_bounded(self, b, m):
+        c = expected_collisions(b, m)
+        assert 0.0 <= c <= b
+
+    @given(st.floats(min_value=1, max_value=50), st.integers(2, 500))
+    def test_more_slots_fewer_collisions(self, b, m):
+        assert expected_collisions(b, m + 1) <= expected_collisions(b, m) + 1e-12
+
+    def test_monte_carlo_agreement(self):
+        """Lemma 1's expectation matches simulated uniform hashing."""
+        rng = np.random.default_rng(0)
+        b, m, trials = 10, 30, 4000
+        collisions = [
+            b - len(set(rng.integers(0, m, size=b).tolist())) for __ in range(trials)
+        ]
+        assert np.mean(collisions) == pytest.approx(expected_collisions(b, m), abs=0.05)
+
+
+class TestTheorem1:
+    def test_table3_ncvr(self):
+        assert [optimal_cvector_size(b) for b in (5.1, 5.0, 20.0, 7.2)] == [15, 15, 68, 22]
+
+    def test_table3_dblp(self):
+        assert [optimal_cvector_size(b) for b in (4.8, 6.2, 64.8, 3.0)] == [14, 19, 226, 8]
+
+    def test_record_sizes_match_paper(self):
+        assert record_size([5.1, 5.0, 20.0, 7.2]) == 120
+        assert record_size([4.8, 6.2, 64.8, 3.0]) == 267
+
+    def test_paper_worked_example(self):
+        # Section 5.2: b=5.1 -> 15 and b=20.0 -> 68 with rho=1, r=1/3.
+        assert optimal_cvector_size(5.1, rho=1, r=1 / 3) == 15
+        assert optimal_cvector_size(20.0, rho=1, r=1 / 3) == 68
+
+    def test_smaller_r_means_larger_m(self):
+        m_third = optimal_cvector_size(20.0, r=1 / 3)
+        m_fifth = optimal_cvector_size(20.0, r=1 / 5)
+        assert m_fifth > m_third
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            optimal_cvector_size(5.0, r=0.0)
+        with pytest.raises(ValueError):
+            optimal_cvector_size(5.0, r=1.0)
+
+    def test_invalid_rho_and_b(self):
+        with pytest.raises(ValueError):
+            optimal_cvector_size(5.0, rho=-1)
+        with pytest.raises(ValueError):
+            optimal_cvector_size(0.0)
+
+    def test_b_below_rho_still_positive(self):
+        assert optimal_cvector_size(0.5, rho=1.0) >= 1
+
+    @given(st.floats(min_value=2, max_value=100))
+    @settings(max_examples=50)
+    def test_sizing_keeps_collisions_proportional(self, b):
+        """Theorem 1's m keeps E[c] ~ b*r/2, not literally within rho.
+
+        The proof substitutes the fixed ratio r for b/m inside e^{-b/m},
+        which makes the bound loose for larger b (even the paper's own
+        b=20 -> m=68 case has E[c] ~ 2.6 > rho = 1).  What the formula
+        really delivers is a fill ratio near r, i.e. expected collisions
+        around b^2/(2m) ~ b*r/2 — asserted here with 25% slack.
+        """
+        r = 1.0 / 3.0
+        m = optimal_cvector_size(b, rho=1.0, r=r)
+        assert expected_collisions(b, m) <= 1.0 + 1.25 * (b * r / 2.0)
+
+    @given(st.floats(min_value=3, max_value=100))
+    @settings(max_examples=50)
+    def test_r_bounds_fill_ratio(self, b):
+        """b/m stays near r (the proof's substitution), up to the rho term.
+
+        From m >= (b - rho) / (1 - e^{-r}):
+        b/m <= (1 - e^{-r}) * b / (b - rho), and (1 - e^{-r}) <= r.
+        """
+        rho, r = 1.0, 1.0 / 3.0
+        m = optimal_cvector_size(b, rho=rho, r=r)
+        assert b / m <= r * b / (b - rho) + 1e-9
+
+
+class TestSizingReport:
+    def test_report_fields(self):
+        report = size_attribute(5.1)
+        assert report.m_opt == 15
+        assert report.confidence == pytest.approx(2 / 3)
+        assert 0 < report.fill_ratio < 1
+        assert report.expected_collisions <= report.rho * 1.1 + 1e-9
+
+    def test_report_consistency(self):
+        report = size_attribute(20.0, rho=0.5, r=0.25)
+        assert report.expected_ones == pytest.approx(
+            expected_set_positions(20.0, report.m_opt)
+        )

@@ -1,0 +1,79 @@
+"""Tests for repro.baselines.smeb."""
+
+import pytest
+
+from repro.baselines.smeb import SMEBLinker
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.evaluation.metrics import evaluate_linkage
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_linkage_problem(NCVRGenerator(), 120, scheme_pl(), seed=41)
+
+
+class TestConfiguration:
+    def test_blocking_threshold_is_max_attribute_threshold(self):
+        linker = SMEBLinker({"f1": 3.0, "f2": 4.0}, n_attributes=2)
+        assert linker.blocking_threshold == pytest.approx(4.0)
+
+    def test_paper_table_counts_reproduced(self):
+        """The paper's L = 29 (PL) and L = 194 (PH) fall out of the
+        attribute-threshold calibration with a shared w = 9."""
+        pl = SMEBLinker({f"f{i}": 4.5 for i in (1, 2, 3, 4)}, n_attributes=4, k=5)
+        assert 25 <= pl.computed_n_tables <= 33
+        ph = SMEBLinker(
+            {"f1": 4.5, "f2": 4.5, "f3": 7.7}, n_attributes=4, k=5, w=9.0
+        )
+        assert 170 <= ph.computed_n_tables <= 220
+
+    def test_auto_bucket_width(self):
+        linker = SMEBLinker({"f1": 4.5}, n_attributes=1)
+        assert linker.w == pytest.approx(9.0)
+
+    def test_tables_capped(self):
+        linker = SMEBLinker({"f1": 4.5}, n_attributes=1, w=1.0, max_tables=50)
+        assert linker.computed_n_tables == 50
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            SMEBLinker({"f9": 1.0}, n_attributes=2)
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            SMEBLinker({}, n_attributes=2)
+
+
+class TestLinkage:
+    def test_moderate_completeness_shape(self, problem):
+        """SM-EB finds a substantial share of matches but trails cBV-HB
+        (the paper's Figure 9 shape)."""
+        linker = SMEBLinker(
+            {"f1": 4.5, "f2": 4.5, "f3": 4.5, "f4": 4.5},
+            n_attributes=4, d=10, pivot_sample=30, seed=1,
+        )
+        result = linker.link(problem.dataset_a, problem.dataset_b)
+        quality = evaluate_linkage(
+            result.matches, problem.true_matches, result.n_candidates,
+            problem.comparison_space,
+        )
+        assert quality.pairs_completeness >= 0.4
+        assert result.n_candidates > 0
+
+    def test_embedding_dominates_runtime(self, problem):
+        """Figure 8(b): StringMap embedding is the expensive stage."""
+        linker = SMEBLinker(
+            {"f1": 4.5, "f2": 4.5, "f3": 4.5, "f4": 4.5},
+            n_attributes=4, d=8, pivot_sample=25, seed=2,
+        )
+        result = linker.link(problem.dataset_a, problem.dataset_b)
+        assert result.timings["embed"] > result.timings["index"]
+
+    def test_matches_respect_attribute_thresholds(self, problem):
+        linker = SMEBLinker(
+            {"f1": 4.5, "f2": 4.5}, n_attributes=4, d=8, pivot_sample=25, seed=3
+        )
+        result = linker.link(problem.dataset_a, problem.dataset_b)
+        for name, threshold in linker.attribute_thresholds.items():
+            if result.attribute_distances:
+                assert (result.attribute_distances[name] <= threshold).all()

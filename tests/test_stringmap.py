@@ -1,0 +1,81 @@
+"""Tests for repro.baselines.stringmap."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.stringmap import StringMapEmbedder
+from repro.text.edit_distance import levenshtein
+
+NAMES = [
+    "JONES", "JONAS", "SMITH", "SMYTH", "GARCIA", "GARZIA", "WALKER",
+    "WOLKER", "MARTINEZ", "MARTINES", "THOMPSON", "THOMSON", "ANDERSON",
+    "ANDERSEN", "WASHINGTON", "WASHINGTEN", "LEE", "LI", "BROWN", "BRAUN",
+]
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    embedder = StringMapEmbedder(d=10, seed=0)
+    return embedder, embedder.fit_transform(NAMES)
+
+
+class TestBasics:
+    def test_shape(self, embedded):
+        __, points = embedded
+        assert points.shape == (len(NAMES), 10)
+
+    def test_deterministic(self):
+        e1 = StringMapEmbedder(d=5, seed=3).fit_transform(NAMES)
+        e2 = StringMapEmbedder(d=5, seed=3).fit_transform(NAMES)
+        assert np.allclose(e1, e2)
+
+    def test_identical_strings_identical_points(self, embedded):
+        embedder, __ = embedded
+        points = embedder.transform(["JONES", "JONES"])
+        assert np.allclose(points[0], points[1])
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            StringMapEmbedder(d=3).transform(["A"])
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StringMapEmbedder(d=3).fit([])
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            StringMapEmbedder(d=0)
+
+    def test_degenerate_identical_corpus(self):
+        points = StringMapEmbedder(d=4, seed=1).fit_transform(["SAME"] * 5)
+        assert np.allclose(points, points[0])
+
+
+class TestDistancePreservation:
+    def test_similar_strings_closer_than_dissimilar(self, embedded):
+        embedder, points = embedded
+        def euclid(i, j):
+            return float(np.linalg.norm(points[i] - points[j]))
+        # JONES-JONAS (ed 1) should embed much closer than JONES-WASHINGTON.
+        close = euclid(NAMES.index("JONES"), NAMES.index("JONAS"))
+        far = euclid(NAMES.index("JONES"), NAMES.index("WASHINGTON"))
+        assert close < far
+
+    def test_rank_correlation_with_edit_distance(self, embedded):
+        """Across all pairs, embedded distance correlates with edit distance."""
+        __, points = embedded
+        ed, em = [], []
+        for i in range(len(NAMES)):
+            for j in range(i + 1, len(NAMES)):
+                ed.append(levenshtein(NAMES[i], NAMES[j]))
+                em.append(float(np.linalg.norm(points[i] - points[j])))
+        ed, em = np.asarray(ed, dtype=float), np.asarray(em)
+        correlation = np.corrcoef(ed, em)[0, 1]
+        assert correlation > 0.7
+
+    def test_unseen_strings_transform(self, embedded):
+        embedder, __ = embedded
+        points = embedder.transform(["JOHNSON", "JOHNSTON"])
+        distance = float(np.linalg.norm(points[0] - points[1]))
+        far = embedder.transform(["JOHNSON", "XYZQW"])
+        assert distance < float(np.linalg.norm(far[0] - far[1]))

@@ -1,0 +1,65 @@
+"""Tests for repro.core.tuning — empirical K selection."""
+
+import pytest
+
+from repro.core.encoder import RecordEncoder
+from repro.core.tuning import choose_k, measure_k
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.data.generators import EXPERIMENT_SCHEME
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    problem = build_linkage_problem(NCVRGenerator(), 600, scheme_pl(), seed=71)
+    rows_a = problem.dataset_a.value_rows()
+    rows_b = problem.dataset_b.value_rows()
+    encoder = RecordEncoder.calibrated(rows_a, scheme=EXPERIMENT_SCHEME, seed=71)
+    return encoder.encode_dataset(rows_a), encoder.encode_dataset(rows_b)
+
+
+class TestMeasureK:
+    def test_returns_time_candidates_tables(self, matrices):
+        matrix_a, matrix_b = matrices
+        elapsed, candidates, tables = measure_k(matrix_a, matrix_b, k=20, threshold=4, seed=1)
+        assert elapsed > 0
+        assert candidates > 0
+        assert tables >= 1
+
+    def test_larger_k_fewer_candidates(self, matrices):
+        matrix_a, matrix_b = matrices
+        __, few_selective, __ = measure_k(matrix_a, matrix_b, k=8, threshold=4, seed=1)
+        __, very_selective, __ = measure_k(matrix_a, matrix_b, k=35, threshold=4, seed=1)
+        assert very_selective <= few_selective
+
+
+class TestChooseK:
+    def test_selection_structure(self, matrices):
+        matrix_a, matrix_b = matrices
+        selection = choose_k(
+            matrix_a, matrix_b, threshold=4, k_values=(10, 20, 30), seed=2
+        )
+        assert selection.best_k in (10, 20, 30)
+        assert len(selection.candidates) == 3
+        assert selection.by_k(20).k == 20
+        best = selection.by_k(selection.best_k)
+        assert all(best.estimated_seconds <= c.estimated_seconds for c in selection.candidates)
+
+    def test_unknown_k_lookup(self, matrices):
+        matrix_a, matrix_b = matrices
+        selection = choose_k(matrix_a, matrix_b, threshold=4, k_values=(15,), seed=2)
+        with pytest.raises(KeyError):
+            selection.by_k(99)
+
+    def test_validation(self, matrices):
+        matrix_a, matrix_b = matrices
+        with pytest.raises(ValueError):
+            choose_k(matrix_a, matrix_b, threshold=4, k_values=())
+        with pytest.raises(ValueError):
+            choose_k(matrix_a, matrix_b, threshold=matrix_a.n_bits)
+
+    def test_sampling_caps_work(self, matrices):
+        matrix_a, matrix_b = matrices
+        selection = choose_k(
+            matrix_a, matrix_b, threshold=4, k_values=(20,), sample_size=50, seed=3
+        )
+        assert selection.candidates[0].sample_candidates >= 0
