@@ -1,0 +1,39 @@
+"""reprolint: repo-specific static analysis guarding paper invariants.
+
+The reproduction's analytical machinery -- Theorem 1 sizing, Eq. 2
+blocking-group counts, the Defs. 4-6 collision probabilities -- depends
+on invariants a generic linter cannot see: every random draw must flow
+from an explicit seed, probabilities must never be compared with float
+``==``, and the public API must stay fully annotated so strict ``mypy``
+keeps meaning something.  This package is a small AST-based analysis
+framework with a rule-plugin architecture:
+
+* :mod:`repro.analysis.engine` walks each module's ``ast`` tree once and
+  dispatches nodes to per-rule visitors.
+* :mod:`repro.analysis.rules` holds one module per check (RL001-RL006).
+* :mod:`repro.analysis.report` renders findings as text or JSON.
+* :mod:`repro.analysis.config` loads ``[tool.reprolint]`` from
+  ``pyproject.toml`` (rule selection and per-rule path includes/excludes).
+
+Run it as ``repro lint src/`` or ``python -m repro.analysis src/``.
+Suppress a finding in place with ``# reprolint: disable=RL003`` (comma
+separated ids; always pair a suppression with a justification comment).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import FileContext, Finding, LintEngine, Rule, lint_paths
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "lint_paths",
+    "load_config",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,97 @@
+"""Entry point: ``python -m repro.analysis [paths...]``.
+
+Also backs the ``repro lint`` CLI subcommand.  Exit status is the number
+of findings capped at 1 (0 = clean), so the command gates CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.config import load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
+    """Populate ``parser`` (or a fresh one) with the lint options."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="reprolint: repo-specific static analysis (RL001-RL006)",
+        )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RLxxx",
+        help="run only these rules (repeatable, or comma separated)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RLxxx",
+        help="skip these rules (repeatable, or comma separated)",
+    )
+    return parser
+
+
+def _split_ids(values: Sequence[str]) -> list[str]:
+    ids: list[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments.
+
+    Exit status: 0 clean, 1 findings, 2 usage error (unknown rule id or
+    missing path) -- a typo in ``--select`` must not silently pass CI.
+    """
+    from pathlib import Path
+
+    from repro.analysis.engine import Rule
+
+    select, ignore = _split_ids(args.select), _split_ids(args.ignore)
+    known = set(Rule.registered())
+    unknown = [rule_id for rule_id in [*select, *ignore] if rule_id not in known]
+    if unknown:
+        sys.stderr.write(
+            f"repro lint: unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})\n"
+        )
+        return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        sys.stderr.write(
+            f"repro lint: path(s) not found: {', '.join(missing)}\n"
+        )
+        return 2
+    config = load_config().with_overrides(select=select, ignore=ignore)
+    findings = lint_paths(args.paths, config)
+    if args.format == "json":
+        output = render_json(findings)
+    else:
+        output = render_text(findings)
+    sys.stdout.write(output + "\n")
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Configuration for reprolint: ``[tool.reprolint]`` in ``pyproject.toml``.
+
+Recognised keys::
+
+    [tool.reprolint]
+    select = ["RL001", "RL002"]        # only these rules (default: all)
+    ignore = ["RL006"]                 # drop these rules
+    exclude = ["build/*"]              # path globs skipped entirely
+
+    [tool.reprolint.rules.RL003]
+    include = ["core/sizing.py", "hamming/*"]   # restrict rule to paths
+    [tool.reprolint.rules.RL006]
+    exclude = ["evaluation/reporting.py"]       # skip rule on paths
+
+Patterns are :mod:`fnmatch` globs matched against the posix form of the
+file path; a pattern also matches when it matches a path suffix, so
+``core/sizing.py`` matches ``src/repro/core/sizing.py``.  CLI flags
+(``--select``/``--ignore``) override ``select``/``ignore`` from the file.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.engine import Rule
+
+
+def _matches(path: str, patterns: Iterable[str]) -> bool:
+    posix = Path(path).as_posix()
+    for pattern in patterns:
+        if fnmatch(posix, pattern) or fnmatch(posix, f"*/{pattern}"):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Per-rule path scoping from ``[tool.reprolint.rules.RLxxx]``."""
+
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved reprolint configuration."""
+
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    rule_configs: dict[str, RuleConfig] = field(default_factory=dict)
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if self.select and rule_id not in self.select:
+            return False
+        return rule_id not in self.ignore
+
+    def path_excluded(self, path: str) -> bool:
+        return _matches(path, self.exclude)
+
+    def rule_applies(self, rule: "Rule", path: str) -> bool:
+        """Does ``rule`` run on ``path``, honouring include/exclude scoping?"""
+        rule_cfg = self.rule_configs.get(rule.rule_id, RuleConfig())
+        include = rule_cfg.include or rule.default_include
+        if include and not _matches(path, include):
+            return False
+        if _matches(path, rule.default_exclude):
+            return False
+        return not _matches(path, rule_cfg.exclude)
+
+    def with_overrides(
+        self,
+        select: Sequence[str] | None = None,
+        ignore: Sequence[str] | None = None,
+    ) -> "LintConfig":
+        return LintConfig(
+            select=tuple(select) if select else self.select,
+            ignore=tuple(ignore) if ignore is not None and ignore else self.ignore,
+            exclude=self.exclude,
+            rule_configs=dict(self.rule_configs),
+        )
+
+
+def find_pyproject(start: Path | None = None) -> Path | None:
+    """Walk up from ``start`` (default cwd) looking for ``pyproject.toml``."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Path | None = None) -> LintConfig:
+    """Load ``[tool.reprolint]``; missing file or table yields defaults."""
+    if pyproject is None:
+        pyproject = find_pyproject()
+    if pyproject is None or not pyproject.is_file():
+        return LintConfig()
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("reprolint", {})
+    rule_configs: dict[str, RuleConfig] = {}
+    for rule_id, entry in table.get("rules", {}).items():
+        rule_configs[rule_id] = RuleConfig(
+            include=tuple(entry.get("include", ())),
+            exclude=tuple(entry.get("exclude", ())),
+        )
+    return LintConfig(
+        select=tuple(table.get("select", ())),
+        ignore=tuple(table.get("ignore", ())),
+        exclude=tuple(table.get("exclude", ())),
+        rule_configs=rule_configs,
+    )

@@ -1,0 +1,231 @@
+"""Core of the reprolint framework: rules, findings, and the AST walk.
+
+A :class:`Rule` declares the AST node types it wants to see
+(``interests``) and implements :meth:`Rule.check_node`.  The
+:class:`LintEngine` parses each file once, builds a shared
+:class:`FileContext` (source lines, parent links, per-line
+suppressions), then walks the tree a single time, fanning each node out
+to every rule interested in its type.  This keeps a lint run O(nodes)
+regardless of how many rules are registered.
+
+Suppressions are comment-driven: a physical line containing
+``# reprolint: disable=RL001`` (ids comma separated) silences those
+rules for findings anchored to that line.  Comments are discovered with
+:mod:`tokenize`, so the marker is never matched inside a string literal.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import LintConfig
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Per-file state shared by every rule during one walk.
+
+    ``parents`` maps each AST node to its syntactic parent, letting rules
+    ask questions like "is this ``def`` nested inside another function?"
+    without each rule re-walking the tree.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: Sequence[str]
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.Module) -> "FileContext":
+        ctx = cls(path=path, source=source, tree=tree, lines=source.splitlines())
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx.parents[child] = parent
+        ctx.suppressions = _collect_suppressions(source)
+        return ctx
+
+    def parent_chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ancestors of ``node``, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        disabled = self.suppressions.get(finding.line)
+        return disabled is not None and finding.rule_id in disabled
+
+
+def _collect_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map physical line number -> rule ids disabled on that line."""
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | ids
+    except tokenize.TokenError:
+        # A tokenize failure (unterminated string, etc.) surfaces later as
+        # a parse error; suppression info is best-effort by then.
+        pass
+    return suppressions
+
+
+class Rule:
+    """Base class for reprolint rules (the plugin interface).
+
+    Subclasses set ``rule_id``, ``summary`` and ``interests`` and
+    implement :meth:`check_node`.  Registration is automatic via
+    ``__init_subclass__``; importing a rule module is enough to make its
+    rules available to the engine.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    #: AST node types this rule wants to inspect.
+    interests: tuple[type[ast.AST], ...] = ()
+    #: Default path globs the rule is restricted to (empty = everywhere).
+    default_include: tuple[str, ...] = ()
+    #: Default path globs the rule never runs on (e.g. tests for RL001).
+    default_exclude: tuple[str, ...] = ()
+
+    _registry: dict[str, type["Rule"]] = {}
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.rule_id:
+            Rule._registry[cls.rule_id] = cls
+
+    @classmethod
+    def registered(cls) -> dict[str, type["Rule"]]:
+        # Importing the rules package populates the registry.
+        import repro.analysis.rules  # noqa: F401
+
+        return dict(cls._registry)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def make_finding(
+        self, node: ast.AST, ctx: FileContext, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+class LintEngine:
+    """Run a set of rules over Python source files."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self.rules: list[Rule] = [
+            rule_cls()
+            for rule_id, rule_cls in sorted(Rule.registered().items())
+            if config.rule_enabled(rule_id)
+        ]
+        self._dispatch: dict[type[ast.AST], list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.interests:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def lint_source(self, path: str, source: str) -> list[Finding]:
+        """Lint one in-memory module; ``path`` is used for reporting/config."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            line = exc.lineno or 1
+            col = (exc.offset or 1)
+            return [
+                Finding(path, line, col, "RL000", f"syntax error: {exc.msg}")
+            ]
+        ctx = FileContext.build(path, source, tree)
+        active = [
+            rule for rule in self.rules if self.config.rule_applies(rule, path)
+        ]
+        if not active:
+            return []
+        dispatch: dict[type[ast.AST], list[Rule]] = {}
+        for rule in active:
+            for node_type in rule.interests:
+                dispatch.setdefault(node_type, []).append(rule)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                for finding in rule.check_node(node, ctx):
+                    if not ctx.is_suppressed(finding):
+                        findings.append(finding)
+        return sorted(findings)
+
+    def lint_file(self, path: Path) -> list[Finding]:
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(str(path), source)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint files/directories and return all findings, sorted by position."""
+    if config is None:
+        from repro.analysis.config import load_config
+
+        config = load_config()
+    engine = LintEngine(config)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        if config.path_excluded(str(path)):
+            continue
+        findings.extend(engine.lint_file(path))
+    return sorted(findings)

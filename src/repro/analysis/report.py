@@ -1,0 +1,40 @@
+"""Rendering of lint findings: text for humans, JSON for CI tooling."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.analysis.engine import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RLxxx message`` line per finding plus a summary."""
+    if not findings:
+        return "reprolint: no findings"
+    lines = [finding.format() for finding in findings]
+    by_rule = Counter(finding.rule_id for finding in findings)
+    breakdown = ", ".join(
+        f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
+    )
+    lines.append(f"reprolint: {len(findings)} finding(s) ({breakdown})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable output: ``{"count": N, "findings": [...]}``."""
+    payload = {
+        "count": len(findings),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,38 @@
+"""Rule plugins for reprolint.
+
+Importing this package registers every rule with
+:class:`repro.analysis.engine.Rule`; the engine discovers them through
+``Rule.registered()``.  Each module holds one check:
+
+========  =============================================  =======================
+Rule id   Module                                         Guards
+========  =============================================  =======================
+RL001     :mod:`repro.analysis.rules.randomness`         determinism (seeds)
+RL002     :mod:`repro.analysis.rules.dynamic_exec`       no ``eval``/``exec``
+RL003     :mod:`repro.analysis.rules.float_equality`     probability comparisons
+RL004     :mod:`repro.analysis.rules.annotations`        public API typing
+RL005     :mod:`repro.analysis.rules.mutable_defaults`   call-to-call isolation
+RL006     :mod:`repro.analysis.rules.print_calls`        output via reporting
+========  =============================================  =======================
+"""
+
+# NOTE: no ``from __future__ import annotations`` here -- the future
+# statement binds the name ``annotations`` in this namespace and would
+# shadow the submodule import below.
+from repro.analysis.rules import (  # noqa: F401
+    annotations,
+    dynamic_exec,
+    float_equality,
+    mutable_defaults,
+    print_calls,
+    randomness,
+)
+
+__all__ = [
+    "annotations",
+    "dynamic_exec",
+    "float_equality",
+    "mutable_defaults",
+    "print_calls",
+    "randomness",
+]

@@ -1,0 +1,70 @@
+"""RL004 -- public functions must be fully annotated.
+
+Strict ``mypy`` on ``repro.core``/``repro.hamming``/``repro.rules`` is
+part of the CI gate; an un-annotated public function anywhere in
+``src/repro/`` erodes that guarantee because inference stops at the
+boundary.  This rule flags module-level and class-level functions whose
+name has no leading underscore when any parameter (beyond ``self``/
+``cls``) or the return type is missing an annotation.  Nested functions
+are private by construction and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_nested(node: ast.AST, ctx: FileContext) -> bool:
+    for ancestor in ctx.parent_chain(node):
+        if isinstance(ancestor, (*_FUNC_NODES, ast.Lambda)):
+            return True
+    return False
+
+
+def _is_method(node: ast.AST, ctx: FileContext) -> bool:
+    parent = ctx.parents.get(node)
+    return isinstance(parent, ast.ClassDef)
+
+
+def _is_staticmethod(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "staticmethod":
+            return True
+    return False
+
+
+class PublicAnnotations(Rule):
+    rule_id = "RL004"
+    summary = "public functions need complete annotations"
+    interests = _FUNC_NODES
+    default_include = ("src/repro/*",)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, _FUNC_NODES)
+        if node.name.startswith("_") or _is_nested(node, ctx):
+            return
+        missing: list[str] = []
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        if _is_method(node, ctx) and not _is_staticmethod(node) and positional:
+            positional = positional[1:]  # self / cls carry no annotation
+        for arg in [*positional, *args.kwonlyargs]:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for variadic in (args.vararg, args.kwarg):
+            if variadic is not None and variadic.annotation is None:
+                missing.append(f"*{variadic.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            yield self.make_finding(
+                node,
+                ctx,
+                f"public function `{node.name}` missing annotations: "
+                + ", ".join(missing),
+            )

@@ -1,0 +1,18 @@
+"""Shared AST helpers for reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to a dotted string, else None."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None

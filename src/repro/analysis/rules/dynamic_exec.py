@@ -1,0 +1,37 @@
+"""RL002 -- no ``eval``/``exec`` anywhere.
+
+Related PPRL code in the wild parses record files with bare ``eval()``
+(see the POPETS DP-for-PPRL scripts), which both executes untrusted
+input and hides the record schema from static analysis.  This repo
+parses rules with a real tokenizer/parser (:mod:`repro.rules.parser`)
+and records with :mod:`csv`; dynamic code execution is never needed and
+is banned outright -- there is no sanctioned suppression for this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import dotted_name
+
+_BANNED = frozenset({"eval", "exec", "builtins.eval", "builtins.exec"})
+
+
+class DynamicExecution(Rule):
+    rule_id = "RL002"
+    summary = "no eval/exec anywhere"
+    interests = (ast.Call,)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in _BANNED:
+            short = name.rsplit(".", 1)[-1]
+            yield self.make_finding(
+                node,
+                ctx,
+                f"`{short}()` executes dynamic code; parse input with "
+                "csv/ast/repro.rules.parser instead",
+            )

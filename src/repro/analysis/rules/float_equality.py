@@ -1,0 +1,91 @@
+"""RL003 -- no float equality comparisons in probability/distance modules.
+
+The collision probabilities of Defs. 4-6, the Theorem 1 sizing bound and
+the evaluation measures are all computed in floating point.  Comparing
+such quantities with ``==``/``!=`` silently turns an analytical identity
+into a bit-pattern test -- ``p == 1/3`` may hold on one platform and not
+another -- so inside the modules that implement the paper's mathematics
+this rule flags equality comparisons where either operand *looks like* a
+float expression (a float literal, a true division, a ``float()`` call,
+or arithmetic over such operands).  Use ``math.isclose`` / tolerance
+comparisons, or restructure to integer arithmetic (Hamming distances are
+ints; compare those).
+
+Scope: the rule only runs on the modules listed in ``default_include``
+(override per-repo via ``[tool.reprolint.rules.RL003].include``).
+Integer equality, identity tests and comparisons against ``None`` are
+untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import dotted_name
+
+_FLOAT_CALLS = frozenset(
+    {
+        "float",
+        "math.exp",
+        "math.log",
+        "math.log2",
+        "math.log10",
+        "math.sqrt",
+        "math.pow",
+        "np.exp",
+        "np.log",
+        "np.sqrt",
+        "numpy.exp",
+        "numpy.log",
+        "numpy.sqrt",
+    }
+)
+
+
+def _looks_float(node: ast.expr) -> bool:
+    """Heuristic: does this expression produce a float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _looks_float(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.Mod)):
+            return _looks_float(node.left) or _looks_float(node.right)
+        return False
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _FLOAT_CALLS
+    return False
+
+
+class FloatEquality(Rule):
+    rule_id = "RL003"
+    summary = "no float ==/!= in probability/distance modules"
+    interests = (ast.Compare,)
+    default_include = (
+        "rules/probability.py",
+        "core/sizing.py",
+        "hamming/*",
+        "evaluation/metrics.py",
+    )
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if _looks_float(left) or _looks_float(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.make_finding(
+                    node,
+                    ctx,
+                    f"float `{symbol}` comparison; use math.isclose or an "
+                    "explicit tolerance",
+                )
+                return

@@ -1,0 +1,53 @@
+"""RL005 -- no mutable default arguments.
+
+A mutable default (``def f(xs=[])``) is evaluated once at definition
+time and shared across calls.  In a linkage pipeline that reuses
+encoder/linker objects across datasets, state leaking between calls
+corrupts results silently -- exactly the class of drift this linter
+exists to catch.  Use ``None`` plus an in-body default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaults(Rule):
+    rule_id = "RL005"
+    summary = "no mutable default arguments"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        args = node.args
+        defaults = [*args.defaults, *[d for d in args.kw_defaults if d is not None]]
+        for default in defaults:
+            if _is_mutable(default):
+                label = getattr(node, "name", "<lambda>")
+                yield self.make_finding(
+                    default,
+                    ctx,
+                    f"mutable default argument in `{label}`; "
+                    "use None and create the value in the body",
+                )

@@ -1,0 +1,33 @@
+"""RL006 -- no ``print()`` in library code.
+
+All user-facing output flows through the reporting layer
+(:mod:`repro.evaluation.reporting`), which renders tables/series as
+strings and emits them through a single sink.  Stray ``print()`` calls
+in library modules bypass that sink, interleave with benchmark output
+and cannot be captured or redirected by callers embedding the library.
+Scripts whose whole job is printing (``examples/``, ``benchmarks/``) are
+excluded via ``[tool.reprolint.rules.RL006].exclude``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+
+class PrintCalls(Rule):
+    rule_id = "RL006"
+    summary = "no print() in library code"
+    interests = (ast.Call,)
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield self.make_finding(
+                node,
+                ctx,
+                "print() in library code; emit through "
+                "repro.evaluation.reporting instead",
+            )

@@ -1,0 +1,88 @@
+"""RL001 -- no unseeded randomness outside tests.
+
+CoveringLSH-style recall guarantees only hold when the LSH
+position-sampling (and every other stochastic stage: data generation,
+perturbation, calibration sampling) is a deterministic function of an
+explicit seed.  A single call into the process-global RNG state makes a
+run unreproducible without failing any test, so this rule flags:
+
+* stdlib ``random`` module-level draws (``random.random()``,
+  ``random.choice(...)``, ...) which share hidden global state;
+* numpy legacy global-state draws (``np.random.rand``,
+  ``np.random.randint``, ``np.random.shuffle``, ...);
+* ``default_rng()`` / ``random.Random()`` / ``np.random.RandomState()``
+  constructed without a seed argument (entropy from the OS).
+
+The fix is to thread a ``seed`` or ``rng`` parameter through, not to
+suppress: library code should accept ``np.random.Generator`` and leave
+seeding to the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rules.common import dotted_name
+
+# stdlib ``random`` functions drawing from the hidden module-global state.
+_STDLIB_GLOBAL = re.compile(
+    r"^random\.(random|randint|randrange|getrandbits|choice|choices|shuffle|"
+    r"sample|uniform|triangular|gauss|normalvariate|lognormvariate|"
+    r"expovariate|betavariate|gammavariate|paretovariate|weibullvariate|"
+    r"vonmisesvariate|seed)$"
+)
+
+# numpy legacy API drawing from the global ``RandomState`` singleton.
+_NUMPY_GLOBAL = re.compile(
+    r"^(np|numpy)\.random\.(rand|randn|randint|random|random_sample|ranf|"
+    r"sample|bytes|choice|shuffle|permutation|uniform|normal|standard_normal|"
+    r"binomial|poisson|beta|gamma|exponential|geometric|seed)$"
+)
+
+# Constructors that take entropy from the OS when no seed is given.
+_NEEDS_SEED = re.compile(
+    r"^((np|numpy)\.random\.)?(default_rng|RandomState)$|^random\.Random$"
+)
+
+
+def _has_seed_argument(node: ast.Call) -> bool:
+    if node.args:
+        first = node.args[0]
+        return not (isinstance(first, ast.Constant) and first.value is None)
+    for keyword in node.keywords:
+        if keyword.arg == "seed" or keyword.arg is None:  # **kwargs may carry it
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+    return False
+
+
+class UnseededRandomness(Rule):
+    rule_id = "RL001"
+    summary = "no unseeded randomness outside tests"
+    interests = (ast.Call,)
+    default_exclude = ("tests/*", "test_*.py", "conftest.py")
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if _STDLIB_GLOBAL.match(name) or _NUMPY_GLOBAL.match(name):
+            yield self.make_finding(
+                node,
+                ctx,
+                f"call to `{name}` uses process-global RNG state; "
+                "thread an explicit `rng: np.random.Generator` through instead",
+            )
+        elif _NEEDS_SEED.match(name) and not _has_seed_argument(node):
+            yield self.make_finding(
+                node,
+                ctx,
+                f"`{name}()` without a seed draws OS entropy; "
+                "pass an explicit seed for reproducibility",
+            )

@@ -27,7 +27,7 @@ from repro.baselines.bloom import (
     DEFAULT_BLOOM_HASHES,
 )
 from repro.core.config import DEFAULT_DELTA, DEFAULT_K
-from repro.core.linker import LinkageResult, _value_rows
+from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 from repro.core.qgram import QGramScheme
 from repro.hamming.lsh import HammingLSH
 
@@ -81,7 +81,7 @@ class BfHLinker:
         self.n_tables = n_tables
         self.seed = seed
 
-    def link(self, dataset_a, dataset_b) -> LinkageResult:
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)
 

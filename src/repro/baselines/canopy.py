@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.baselines.harra import record_bigram_set
 from repro.core.encoder import RecordEncoder
-from repro.core.linker import LinkageResult, _value_rows
+from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 from repro.core.qgram import QGramScheme
 from repro.hamming.distance import jaccard_distance_sets
 from repro.text.alphabet import TEXT_ALPHABET
@@ -61,7 +61,7 @@ class CanopyLinker:
         self.scheme = scheme or QGramScheme(alphabet=TEXT_ALPHABET)
         self.seed = seed
 
-    def link(self, dataset_a, dataset_b) -> LinkageResult:
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)
         n_a, n_b = len(rows_a), len(rows_b)

@@ -19,7 +19,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.baselines.minhash import MinHashLSH
-from repro.core.linker import LinkageResult, _value_rows
+from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 from repro.core.qgram import QGramScheme
 from repro.hamming.distance import jaccard_distance_sets
 from repro.text.alphabet import TEXT_ALPHABET
@@ -77,7 +77,7 @@ class HarraLinker:
         self.permutation_prefix = permutation_prefix
         self.seed = seed
 
-    def link(self, dataset_a, dataset_b) -> LinkageResult:
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         """Iterative blocking/matching over the MinHash blocking groups."""
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)

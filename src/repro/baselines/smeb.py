@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.baselines.pstable import EuclideanLSH
 from repro.baselines.stringmap import StringMapEmbedder
-from repro.core.linker import LinkageResult, _value_rows
+from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 
 
 class SMEBLinker:
@@ -103,7 +103,7 @@ class SMEBLinker:
         )
         return min(tables, self.max_tables)
 
-    def link(self, dataset_a, dataset_b) -> LinkageResult:
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)
         n_attrs = len(self.names)

@@ -20,7 +20,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.core.encoder import RecordEncoder
-from repro.core.linker import LinkageResult, _value_rows
+from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 from repro.core.qgram import QGramScheme
 from repro.text.alphabet import TEXT_ALPHABET
 
@@ -77,7 +77,7 @@ class SortedNeighborhoodLinker:
             for row in rows
         ]
 
-    def link(self, dataset_a, dataset_b) -> LinkageResult:
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)
 

@@ -8,8 +8,10 @@ The paper's evaluation workflow as shell commands::
     repro link a.csv b.csv --threshold 4 -o matches.csv --truth truth.csv
     repro link a.csv b.csv --rule "(FirstName<=4) & (LastName<=4)" \
          --k FirstName=5 --k LastName=5 -o matches.csv
+    repro lint src/ --format json
 
-Every command takes ``--seed`` and is fully reproducible.
+Every command takes ``--seed`` and is fully reproducible; ``repro lint``
+runs the reprolint static-analysis pass (see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -19,6 +21,8 @@ import sys
 import time
 from collections.abc import Sequence
 
+from repro.analysis.__main__ import build_parser as _build_lint_parser
+from repro.analysis.__main__ import run_lint as _cmd_lint
 from repro.core.linker import CompactHammingLinker
 from repro.data.generators import DBLPGenerator, NCVRGenerator, average_qgram_counts
 from repro.data.io import read_dataset, write_dataset, write_matches
@@ -26,7 +30,7 @@ from repro.data.perturb import scheme_ph, scheme_pl
 from repro.data.schema import Dataset
 from repro.core.sizing import size_attribute
 from repro.evaluation.metrics import evaluate_linkage
-from repro.evaluation.reporting import format_table
+from repro.evaluation.reporting import emit, format_table
 from repro.rules.parser import parse_rule
 
 
@@ -82,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
     link.add_argument("--delta", type=float, default=0.1)
     _add_seed(link)
 
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis pass (RL001-RL006)"
+    )
+    _build_lint_parser(lint)
+
     return parser
 
 
@@ -89,7 +98,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     generator = NCVRGenerator() if args.family == "ncvr" else DBLPGenerator()
     dataset = generator.generate(args.n, seed=args.seed)
     write_dataset(dataset, args.output)
-    print(f"wrote {len(dataset)} {args.family} records to {args.output}")
+    emit(f"wrote {len(dataset)} {args.family} records to {args.output}")
     return 0
 
 
@@ -136,7 +145,7 @@ def _cmd_corrupt(args: argparse.Namespace) -> int:
         writer = csv.writer(handle)
         writer.writerow(["id_a", "id_b"])
         writer.writerows(sorted(truth))
-    print(
+    emit(
         f"wrote A ({len(dataset_a)}) -> {args.output_a}, "
         f"B ({len(dataset_b)}) -> {args.output_b}, "
         f"{len(truth)} true pairs -> {args.truth}"
@@ -155,8 +164,8 @@ def _cmd_sizing(args: argparse.Namespace) -> int:
         rows.append(
             [name, round(b, 1), report.m_opt, round(report.expected_collisions, 2)]
         )
-    print(format_table(["attribute", "b", "m_opt", "E[collisions]"], rows))
-    print(f"record-level size: {total} bits")
+    emit(format_table(["attribute", "b", "m_opt", "E[collisions]"], rows))
+    emit(f"record-level size: {total} bits")
     return 0
 
 
@@ -217,7 +226,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
     result = linker.link(dataset_a, dataset_b)
     elapsed = time.perf_counter() - start
     n_written = write_matches(result.matches, dataset_a, dataset_b, args.output)
-    print(
+    emit(
         f"linked {len(dataset_a)} x {len(dataset_b)} records in {elapsed:.2f} s; "
         f"{n_written} matches -> {args.output}"
     )
@@ -227,7 +236,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
             result.matches, truth, result.n_candidates,
             len(dataset_a) * len(dataset_b),
         )
-        print(
+        emit(
             f"PC = {quality.pairs_completeness:.4f}  "
             f"PQ = {quality.pairs_quality:.4f}  "
             f"RR = {quality.reduction_ratio:.4f}  "
@@ -241,6 +250,7 @@ _COMMANDS = {
     "corrupt": _cmd_corrupt,
     "sizing": _cmd_sizing,
     "link": _cmd_link,
+    "lint": _cmd_lint,
 }
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Protocol, Union
 
 import numpy as np
 
@@ -63,7 +64,16 @@ class LinkageResult:
         return sum(self.timings.values())
 
 
-def _value_rows(dataset) -> list[tuple[str, ...]]:
+class SupportsValueRows(Protocol):
+    """Structural type for dataset inputs: anything with ``value_rows()``."""
+
+    def value_rows(self) -> list[tuple[str, ...]]: ...
+
+
+DatasetLike = Union[SupportsValueRows, Sequence[Sequence[str]]]
+
+
+def _value_rows(dataset: DatasetLike) -> list[tuple[str, ...]]:
     """Accept a Dataset or a plain sequence of value rows."""
     if hasattr(dataset, "value_rows"):
         return dataset.value_rows()
@@ -168,7 +178,7 @@ class CompactHammingLinker:
 
     # -- pipeline -----------------------------------------------------------------
 
-    def calibrate(self, *datasets) -> RecordEncoder:
+    def calibrate(self, *datasets: DatasetLike) -> RecordEncoder:
         """Step 1: size and draw the attribute encoders from data samples.
 
         Samples up to ``calibration.sample_size`` records from each dataset
@@ -198,7 +208,7 @@ class CompactHammingLinker:
         )
         return self.encoder
 
-    def _build_blocker(self, encoder: RecordEncoder):
+    def _build_blocker(self, encoder: RecordEncoder) -> "RuleAwareBlocker | HammingLSH":
         if self.rule is not None:
             assert isinstance(self.k, Mapping)
             return RuleAwareBlocker(
@@ -214,7 +224,7 @@ class CompactHammingLinker:
             seed=self.seed,
         )
 
-    def link(self, dataset_a, dataset_b) -> LinkageResult:
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         """Run the full calibrate/embed/block/match pipeline."""
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)
@@ -341,7 +351,7 @@ class StreamingLinker:
                 out.append((rid, distance))
         return out
 
-    def insert_dataset(self, dataset) -> None:
+    def insert_dataset(self, dataset: DatasetLike) -> None:
         """Bulk insert of a dataset (convenience for warm-up)."""
         for values in _value_rows(dataset):
             self.insert(values)

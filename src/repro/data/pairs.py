@@ -12,11 +12,20 @@ and the per-pair perturbation logs are retained for evaluation
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
 from repro.data.perturb import AppliedOperation, Operation, PerturbationScheme
 from repro.data.schema import Dataset, Record
+
+
+class DatasetGenerator(Protocol):
+    """Structural type for dataset generators (NCVRGenerator, DBLPGenerator)."""
+
+    def generate(
+        self, n: int, seed: int | None = None, id_prefix: str = "N"
+    ) -> Dataset: ...
 
 
 @dataclass
@@ -57,7 +66,7 @@ class LinkageProblem:
 
 
 def build_linkage_problem(
-    generator,
+    generator: DatasetGenerator,
     n: int,
     scheme: PerturbationScheme,
     match_probability: float = 0.5,

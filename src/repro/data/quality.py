@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.perturb import AppliedOperation, Operation
-from repro.data.schema import Record, Schema
+from repro.data.schema import Dataset, Record, Schema
 
 
 @dataclass(frozen=True)
@@ -124,7 +124,9 @@ class CompositeScheme:
         return Record(new_id, current.values), tuple(log)
 
 
-def missingness_summary(dataset, attribute_names: Sequence[str] | None = None) -> dict[str, float]:
+def missingness_summary(
+    dataset: Dataset, attribute_names: Sequence[str] | None = None
+) -> dict[str, float]:
     """Fraction of blank values per attribute (diagnostics for experiments)."""
     names = attribute_names or dataset.schema.names
     out = {}

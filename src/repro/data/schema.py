@@ -10,8 +10,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.qgram import QGramScheme
+
+if TYPE_CHECKING:  # keep numpy a typing-only dependency of this module
+    import numpy as np
 from repro.text.alphabet import TEXT_ALPHABET
 from repro.text.normalize import normalize
 
@@ -132,7 +136,7 @@ class Dataset:
         """Attribute-value tuples in record order (encoder input)."""
         return [record.values for record in self.records]
 
-    def sample(self, n: int, rng) -> list[Record]:
+    def sample(self, n: int, rng: "np.random.Generator") -> list[Record]:
         """Uniform sample without replacement (calibration input)."""
         if n >= len(self.records):
             return list(self.records)

@@ -11,6 +11,7 @@ can be inspected rather than guessed.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -82,7 +83,7 @@ def diagnose_blocking(
 
 def selectivity_sweep(
     matrix: BitMatrix,
-    k_values,
+    k_values: Sequence[int],
     threshold: int,
     delta: float = 0.1,
     seed: int | None = None,

@@ -36,7 +36,9 @@ class LinkageQuality:
 
     @property
     def f1(self) -> float:
-        if self.precision + self.recall == 0.0:
+        # Both terms are non-negative ratios, so <= 0.0 is an exact
+        # "both are zero" test without a float equality comparison.
+        if self.precision + self.recall <= 0.0:
             return 0.0
         return 2.0 * self.precision * self.recall / (self.precision + self.recall)
 

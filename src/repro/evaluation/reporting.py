@@ -7,7 +7,20 @@ textual form.
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Iterable, Sequence
+from typing import TextIO
+
+
+def emit(text: str, stream: TextIO | None = None) -> None:
+    """Write one line of user-facing output.
+
+    The single stdout sink for the CLI and library: reprolint's RL006
+    bans bare ``print()`` in library code so that embedding callers can
+    redirect everything by passing ``stream``.
+    """
+    target = sys.stdout if stream is None else stream
+    target.write(text + "\n")
 
 
 def format_table(
