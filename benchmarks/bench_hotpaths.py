@@ -1,0 +1,278 @@
+"""Hot-path engine benchmark: pre-PR baseline vs the interned/chunked engine.
+
+Times the four phases of ``CompactHammingLinker.link`` (embed / index /
+candidate generation / match) on the NCVR PL cell at ``REPRO_BENCH_SCALE``
+and writes ``BENCH_hotpaths.json`` at the repo root — the first point of
+the perf trajectory.
+
+The *baseline* numbers re-run the pre-engine hot path, reproduced here
+verbatim so the comparison stays honest as the library evolves:
+
+* embedding with one uncached ``qgram_index_set`` call per
+  (record, attribute) — no value interning;
+* indexing that builds a Python dict of id-list buckets per blocking
+  group;
+* candidate generation that walks every bucket in a Python loop and
+  materialises every cross-product before a single global ``np.unique``.
+
+The *engine* numbers run the current ``link()`` (interned encoding,
+memory-bounded chunked de-duplication, single process by default).  The
+script also verifies the engine's invariants — identical matches across
+``n_jobs`` settings and chunk budgets — and records the outcome in the
+JSON.  ``--check`` exits non-zero on an empty candidate stream or any
+invariance violation (the CI perf-smoke gate).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import scaled
+
+from repro.core.encoder import RecordEncoder
+from repro.core.linker import CompactHammingLinker
+from repro.core.qgram import clear_index_set_cache, qgram_index_set
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.evaluation.reporting import banner, format_table
+from repro.hamming.bitmatrix import scatter_bits
+from repro.hamming.lsh import HammingLSH
+from repro.perf import ParallelConfig
+
+#: Problem size per side (scaled by REPRO_BENCH_SCALE).
+BASE_N = 2000
+SEED = 7
+THRESHOLD = 4
+K = 30
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_hotpaths.json"
+
+
+# -- pre-PR reference implementations --------------------------------------------
+
+
+def _baseline_encode_dataset(encoder: RecordEncoder, records):
+    """The pre-engine embed loop: one uncached index_set per (record, attribute)."""
+    rows, bits = [], []
+    for att, (enc, layout) in enumerate(zip(encoder.encoders, encoder.layouts)):
+        att_rows, originals = [], []
+        scheme = enc.scheme
+        for i, record in enumerate(records):
+            u_s = qgram_index_set(
+                record[att], scheme.q, scheme.alphabet, scheme.padded, scheme.pad_char
+            )
+            att_rows.extend([i] * len(u_s))
+            originals.extend(u_s)
+        if not originals:
+            continue
+        hashed = enc.hash_fn.apply(np.asarray(originals, dtype=np.int64))
+        rows.append(np.asarray(att_rows, dtype=np.int64))
+        bits.append(hashed + layout.offset)
+    return scatter_bits(
+        len(records), encoder.total_bits, np.concatenate(rows), np.concatenate(bits)
+    )
+
+
+def _baseline_index(lsh: HammingLSH, matrix_a):
+    """The pre-engine ``insert_matrix``: one Python dict of buckets per group."""
+    tables = []
+    for group in lsh.groups:
+        keys = group.composite.keys_for(matrix_a)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        bounds = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+        buckets = {}
+        for i, start in enumerate(bounds):
+            stop = bounds[i + 1] if i + 1 < len(bounds) else len(sorted_keys)
+            key = sorted_keys[start].item()
+            buckets.setdefault(key, []).extend(order[start:stop].tolist())
+        tables.append(buckets)
+    return tables
+
+
+def _baseline_candidate_pairs(lsh: HammingLSH, tables, matrix_b):
+    """The pre-engine generator: walk every bucket in a Python loop,
+    concatenate every raw cross-product, then one global ``np.unique``
+    (peak memory = all raw products at once)."""
+    n_b = matrix_b.n_rows
+    chunks = []
+    for group, buckets in zip(lsh.groups, tables):
+        keys_b = group.composite.keys_for(matrix_b)
+        order = np.argsort(keys_b, kind="stable")
+        sorted_keys = keys_b[order]
+        bounds = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+        for i, start in enumerate(bounds):
+            stop = bounds[i + 1] if i + 1 < len(bounds) else len(sorted_keys)
+            ids_a = buckets.get(sorted_keys[start].item())
+            if not ids_a:
+                continue
+            rows_b = order[start:stop]
+            rows_a = np.asarray(ids_a, dtype=np.int64)
+            chunks.append(
+                np.repeat(rows_a, rows_b.size) * n_b + np.tile(rows_b, rows_a.size)
+            )
+    if not chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    encoded = np.unique(np.concatenate(chunks))
+    return encoded // n_b, encoded % n_b
+
+
+def _run_baseline(prob):
+    """End-to-end pre-PR link(): calibrate, loop-embed, index, unique, verify."""
+    phases = {}
+    linker = CompactHammingLinker.record_level(threshold=THRESHOLD, k=K, seed=SEED)
+    rows_a = prob.dataset_a.value_rows()
+    rows_b = prob.dataset_b.value_rows()
+
+    start = time.perf_counter()
+    encoder = linker.calibrate(prob.dataset_a, prob.dataset_b)
+    phases["calibrate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    matrix_a = _baseline_encode_dataset(encoder, rows_a)
+    matrix_b = _baseline_encode_dataset(encoder, rows_b)
+    phases["embed"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lsh = HammingLSH(
+        n_bits=encoder.total_bits, k=K, threshold=THRESHOLD, seed=SEED
+    )
+    tables = _baseline_index(lsh, matrix_a)
+    phases["index"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cand_a, cand_b = _baseline_candidate_pairs(lsh, tables, matrix_b)
+    phases["candidates"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dist = matrix_a.hamming_rows(cand_a, matrix_b, cand_b)
+    keep = dist <= THRESHOLD
+    phases["match"] = time.perf_counter() - start
+
+    phases["link_total"] = sum(phases.values())
+    matches = set(zip(cand_a[keep].tolist(), cand_b[keep].tolist()))
+    return phases, matches, int(cand_a.size)
+
+
+def _run_engine(prob, n_jobs=1, max_chunk_pairs=None):
+    """End-to-end current link() with the given engine settings."""
+    linker = CompactHammingLinker.record_level(
+        threshold=THRESHOLD,
+        k=K,
+        seed=SEED,
+        parallel=ParallelConfig(n_jobs=n_jobs),
+        max_chunk_pairs=max_chunk_pairs,
+    )
+    start = time.perf_counter()
+    result = linker.link(prob.dataset_a, prob.dataset_b)
+    elapsed = time.perf_counter() - start
+    phases = dict(result.timings)
+    phases["link_total"] = elapsed
+    return phases, result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on empty candidate stream or broken invariance (CI gate)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=1 << 20,
+        help="max_chunk_pairs for the chunked engine run (default: 1Mi pairs)",
+    )
+    args = parser.parse_args(argv)
+
+    n = scaled(BASE_N)
+    prob = build_linkage_problem(NCVRGenerator(), n, scheme_pl(), seed=SEED)
+
+    clear_index_set_cache()
+    baseline_phases, baseline_matches, baseline_candidates = _run_baseline(prob)
+
+    clear_index_set_cache()
+    engine_phases, engine_result = _run_engine(prob, max_chunk_pairs=args.budget)
+
+    # Invariance: matches identical across n_jobs and chunk budgets.
+    _, result_jobs2 = _run_engine(prob, n_jobs=2, max_chunk_pairs=args.budget)
+    _, result_unchunked = _run_engine(prob)
+    matches = engine_result.matches
+    invariant = (
+        matches == result_jobs2.matches
+        and matches == result_unchunked.matches
+        and np.array_equal(engine_result.rows_a, result_jobs2.rows_a)
+        and np.array_equal(engine_result.rows_b, result_jobs2.rows_b)
+    )
+    agrees_with_baseline = matches == baseline_matches
+
+    speedup = (
+        baseline_phases["link_total"] / engine_phases["link_total"]
+        if engine_phases["link_total"] > 0
+        else float("inf")
+    )
+    payload = {
+        "benchmark": "hotpaths",
+        "dataset": "ncvr-pl",
+        "n_records_per_side": n,
+        "threshold": THRESHOLD,
+        "k": K,
+        "seed": SEED,
+        "max_chunk_pairs": args.budget,
+        "baseline": {
+            "description": "pre-engine hot path: uncached per-record embed, "
+            "dict-bucket indexing, materialise-all-then-unique candidates",
+            "phases_s": baseline_phases,
+            "n_candidates": baseline_candidates,
+            "n_matches": len(baseline_matches),
+        },
+        "engine": {
+            "description": "interned embed + memory-bounded chunked candidates "
+            "(n_jobs=1)",
+            "phases_s": engine_phases,
+            "n_candidates": engine_result.n_candidates,
+            "n_matches": engine_result.n_matches,
+            "counters": engine_result.counters,
+        },
+        "speedup_link_total": speedup,
+        "matches_identical_across_n_jobs": bool(invariant),
+        "matches_identical_to_baseline": bool(agrees_with_baseline),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(banner(f"hot-path engine @ n={n} per side"))
+    phase_names = ["calibrate", "embed", "index", "candidates", "match", "link_total"]
+    rows = []
+    for name in phase_names:
+        rows.append(
+            [
+                name,
+                baseline_phases.get(name, float("nan")),
+                engine_phases.get(name, float("nan")),
+            ]
+        )
+    print(format_table(["phase", "baseline_s", "engine_s"], rows))
+    print(f"speedup (link_total): {speedup:.2f}x")
+    print(f"matches identical across n_jobs/chunking: {invariant}")
+    print(f"matches identical to baseline: {agrees_with_baseline}")
+    print(f"wrote {OUTPUT}")
+
+    if args.check:
+        if engine_result.n_candidates == 0:
+            print("CHECK FAILED: empty candidate stream", file=sys.stderr)
+            return 1
+        if not invariant:
+            print("CHECK FAILED: matches differ across engine settings", file=sys.stderr)
+            return 1
+        if not agrees_with_baseline:
+            print("CHECK FAILED: engine matches differ from baseline", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

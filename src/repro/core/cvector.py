@@ -13,18 +13,86 @@ distances remain comparable).  ``m_opt`` comes from Theorem 1 — see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.qgram import QGramScheme
+from repro.core.qgram import QGramScheme, batch_qgram_indices
 from repro.core.sizing import DEFAULT_CONFIDENCE_R, DEFAULT_RHO, optimal_cvector_size
 from repro.hamming.bitmatrix import BitMatrix, scatter_bits
 from repro.hamming.bitvector import BitVector
 
 #: The large prime of the paper's hash family: 2^31 - 1 (a Mersenne prime).
 HASH_PRIME = 2**31 - 1
+
+#: Per-encoder LRU capacity for memoised compact index sets (streaming path).
+COMPACT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class InternedColumn:
+    """Vectorised expansion of one attribute column's q-gram index sets.
+
+    Every *unique* value of the column is tokenised exactly once; the
+    per-record structure is recovered with two gather arrays instead of a
+    per-record Python loop:
+
+    - ``flat_indices`` concatenates the q-gram indices of the unique
+      values (occurrence order, repeats kept — the bit scatter is
+      idempotent), in first-occurrence order of the values.
+    - ``gather[i]`` maps emitted bit ``i`` to its position in
+      ``flat_indices`` (so hashes are applied to unique indices only and
+      then gathered).
+    - ``rows[i]`` is the record that bit ``i`` belongs to.
+    """
+
+    rows: np.ndarray
+    gather: np.ndarray
+    flat_indices: np.ndarray
+    n_values: int
+    n_unique: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of values served from the interning table."""
+        if self.n_values == 0:
+            return 0.0
+        return 1.0 - self.n_unique / self.n_values
+
+
+def intern_column(values: Sequence[str], scheme: QGramScheme) -> InternedColumn:
+    """Intern an attribute column: tokenise unique values once, then scatter.
+
+    The q-grams of each distinct value are computed a single time (one
+    vectorised :func:`repro.core.qgram.batch_qgram_indices` pass over the
+    unique values); the returned gather arrays expand the unique-value
+    results back to one entry per (record, emitted bit).
+    """
+    n = len(values)
+    unique_ids: dict[str, int] = {}
+    inverse = np.empty(n, dtype=np.int64)
+    for i, value in enumerate(values):
+        uid = unique_ids.setdefault(value, len(unique_ids))
+        inverse[i] = uid
+    flat, counts = batch_qgram_indices(
+        list(unique_ids), scheme.q, scheme.alphabet, scheme.padded, scheme.pad_char
+    )
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))[:-1]
+    rec_counts = counts[inverse]
+    total = int(rec_counts.sum())
+    rows = np.repeat(np.arange(n, dtype=np.int64), rec_counts)
+    rec_offsets = np.cumsum(rec_counts) - rec_counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(rec_offsets, rec_counts)
+    gather = np.repeat(starts[inverse], rec_counts) + within
+    return InternedColumn(
+        rows=rows,
+        gather=gather,
+        flat_indices=flat,
+        n_values=n,
+        n_unique=len(unique_ids),
+    )
 
 
 @dataclass(frozen=True)
@@ -91,13 +159,26 @@ class CVectorEncoder:
         elif hash_fn.m != m:
             raise ValueError(f"hash modulus {hash_fn.m} differs from m={m}")
         self.hash_fn = hash_fn
+        self._compact_cache: OrderedDict[str, frozenset[int]] = OrderedDict()
 
     # -- per-string API -------------------------------------------------------
 
     def compact_indices(self, value: str) -> frozenset[int]:
-        """The set of compact positions ``{g(x) : x in U_s}`` for ``value``."""
+        """The set of compact positions ``{g(x) : x in U_s}`` for ``value``.
+
+        Memoised per encoder (bounded LRU) so the streaming insert/query
+        path pays the hash evaluation once per distinct value.
+        """
+        cached = self._compact_cache.get(value)
+        if cached is not None:
+            self._compact_cache.move_to_end(value)
+            return cached
         u_s = self.scheme.index_set(value)
-        return frozenset(self.hash_fn(x) for x in u_s)
+        out = frozenset(self.hash_fn(x) for x in u_s)
+        self._compact_cache[value] = out
+        if len(self._compact_cache) > COMPACT_CACHE_SIZE:
+            self._compact_cache.popitem(last=False)
+        return out
 
     def encode(self, value: str) -> BitVector:
         """The c-vector of ``value`` (Figure 4 of the paper)."""
@@ -111,19 +192,18 @@ class CVectorEncoder:
     # -- dataset API --------------------------------------------------------------
 
     def encode_all(self, values: Sequence[str]) -> BitMatrix:
-        """Encode a whole attribute column into one packed :class:`BitMatrix`."""
+        """Encode a whole attribute column into one packed :class:`BitMatrix`.
+
+        Interned: each *unique* value is tokenised and hashed once, then the
+        per-record bits are recovered by a vectorised gather.
+        """
         if not values:
             raise ValueError("values must be non-empty")
-        rows: list[int] = []
-        originals: list[int] = []
-        for i, value in enumerate(values):
-            u_s = self.scheme.index_set(value)
-            rows.extend([i] * len(u_s))
-            originals.extend(u_s)
-        if not originals:
+        column = intern_column(values, self.scheme)
+        if column.flat_indices.size == 0:
             return BitMatrix.zeros(len(values), self.m)
-        bits = self.hash_fn.apply(np.asarray(originals, dtype=np.int64))
-        return scatter_bits(len(values), self.m, np.asarray(rows, dtype=np.int64), bits)
+        hashed = self.hash_fn.apply(column.flat_indices)
+        return scatter_bits(len(values), self.m, column.rows, hashed[column.gather])
 
     # -- calibration ---------------------------------------------------------------
 

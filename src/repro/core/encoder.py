@@ -15,12 +15,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.cvector import CVectorEncoder
+from repro.core.cvector import CVectorEncoder, intern_column
 from repro.core.qgram import QGramScheme
 from repro.core.sizing import DEFAULT_CONFIDENCE_R, DEFAULT_RHO
 from repro.hamming.bitmatrix import BitMatrix, scatter_bits
 from repro.hamming.bitvector import BitVector
 from repro.hamming.distance import masked_hamming_rows
+from repro.perf import ParallelConfig, parallel_map
 
 
 @dataclass(frozen=True)
@@ -102,29 +103,61 @@ class RecordEncoder:
 
     # -- dataset API --------------------------------------------------------------
 
-    def encode_dataset(self, records: Sequence[Sequence[str]]) -> BitMatrix:
+    def encode_dataset(
+        self,
+        records: Sequence[Sequence[str]],
+        parallel: ParallelConfig | None = None,
+        stats: dict[str, float] | None = None,
+    ) -> BitMatrix:
         """Encode many records into one packed record-level matrix.
 
-        Implemented as a single vectorised scatter over all attributes:
-        attribute ``i``'s compact indices are shifted by its bit offset.
+        Each attribute column is *interned*: every unique value is
+        tokenised and hashed once, then scattered to all its occurrences
+        (see :func:`repro.core.cvector.intern_column`), and the whole
+        dataset lands in one vectorised scatter with attribute ``i``'s
+        compact indices shifted by its bit offset.
+
+        With ``parallel.n_jobs > 1`` the records are sharded into
+        contiguous ranges and encoded by worker processes; results are
+        concatenated in range order, so the matrix is identical to the
+        single-process one.  ``stats``, when given, receives interning
+        counters (``intern_values``, ``intern_unique``, ``intern_hit_rate``).
         """
         if not records:
             raise ValueError("records must be non-empty")
+        if parallel is not None and parallel.effective_jobs > 1 and len(records) > 1:
+            ranges = parallel.shard_ranges(len(records))
+            if len(ranges) > 1:
+                shards = [(self, list(records[lo:hi])) for lo, hi in ranges]
+                outs = parallel_map(_encode_shard, shards, parallel)
+                if stats is not None:
+                    _merge_intern_stats(stats, [s for _, s in outs])
+                return BitMatrix(np.vstack([w for w, _ in outs]), self.total_bits)
+        return self._encode_dataset_single(records, stats)
+
+    def _encode_dataset_single(
+        self, records: Sequence[Sequence[str]], stats: dict[str, float] | None = None
+    ) -> BitMatrix:
+        """Single-process interned encode (the ``n_jobs=1`` path)."""
+        for record in records:
+            self._check_arity(record)
         rows: list[np.ndarray] = []
         bits: list[np.ndarray] = []
+        n_values = 0
+        n_unique = 0
         for att, (enc, layout) in enumerate(zip(self.encoders, self.layouts)):
-            att_rows: list[int] = []
-            originals: list[int] = []
-            for i, record in enumerate(records):
-                self._check_arity(record)
-                u_s = enc.scheme.index_set(record[att])
-                att_rows.extend([i] * len(u_s))
-                originals.extend(u_s)
-            if not originals:
+            column = intern_column([record[att] for record in records], enc.scheme)
+            n_values += column.n_values
+            n_unique += column.n_unique
+            if column.flat_indices.size == 0:
                 continue
-            hashed = enc.hash_fn.apply(np.asarray(originals, dtype=np.int64))
-            rows.append(np.asarray(att_rows, dtype=np.int64))
-            bits.append(hashed + layout.offset)
+            hashed = enc.hash_fn.apply(column.flat_indices) + layout.offset
+            rows.append(column.rows)
+            bits.append(hashed[column.gather])
+        if stats is not None:
+            stats["intern_values"] = float(n_values)
+            stats["intern_unique"] = float(n_unique)
+            stats["intern_hit_rate"] = 1.0 - n_unique / n_values if n_values else 0.0
         if not rows:
             return BitMatrix.zeros(len(records), self.total_bits)
         return scatter_bits(
@@ -194,3 +227,22 @@ class RecordEncoder:
     def __repr__(self) -> str:
         widths = ", ".join(f"{lay.name}={lay.width}" for lay in self.layouts)
         return f"RecordEncoder(total_bits={self.total_bits}, {widths})"
+
+
+def _encode_shard(
+    task: "tuple[RecordEncoder, list[Sequence[str]]]",
+) -> tuple[np.ndarray, dict[str, float]]:
+    """Worker: encode one contiguous record range (module-level, picklable)."""
+    encoder, records = task
+    stats: dict[str, float] = {}
+    matrix = encoder._encode_dataset_single(records, stats)
+    return matrix.words, stats
+
+
+def _merge_intern_stats(out: dict[str, float], shard_stats: Sequence[dict[str, float]]) -> None:
+    """Sum per-shard interning counters (unique counts are per shard)."""
+    values = sum(s.get("intern_values", 0.0) for s in shard_stats)
+    unique = sum(s.get("intern_unique", 0.0) for s in shard_stats)
+    out["intern_values"] = values
+    out["intern_unique"] = unique
+    out["intern_hit_rate"] = 1.0 - unique / values if values else 0.0

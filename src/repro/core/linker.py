@@ -32,8 +32,11 @@ from repro.core.config import (
 )
 from repro.core.encoder import RecordEncoder
 from repro.core.qgram import QGramScheme
+from repro.hamming.bitmatrix import BitMatrix
 from repro.hamming.bitvector import BitVector
+from repro.hamming.distance import hamming_packed
 from repro.hamming.lsh import HammingLSH
+from repro.perf import ParallelConfig, parallel_map
 from repro.rules.ast import Rule
 from repro.rules.blocking import RuleAwareBlocker
 
@@ -49,6 +52,10 @@ class LinkageResult:
     timings: dict[str, float] = field(default_factory=dict)
     attribute_distances: dict[str, np.ndarray] = field(default_factory=dict)
     record_distances: np.ndarray | None = None
+    #: Hot-path diagnostics alongside the phase timings: interning hit
+    #: rate of the embedding stage, candidate pairs generated / unique /
+    #: duplicate / verified, chunk count and peak chunk size.
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def matches(self) -> set[tuple[int, int]]:
@@ -80,6 +87,28 @@ def _value_rows(dataset: DatasetLike) -> list[tuple[str, ...]]:
     return [tuple(row) for row in dataset]
 
 
+#: Per-worker verification state: the packed words of both matrices are
+#: shipped once per worker (executor initializer), not once per chunk.
+_VERIFY_STATE: dict[str, np.ndarray] = {}
+
+
+def _init_verify_worker(words_a: np.ndarray, words_b: np.ndarray) -> None:
+    """Executor initializer: pin both packed matrices in the worker."""
+    _VERIFY_STATE["a"] = words_a
+    _VERIFY_STATE["b"] = words_b
+
+
+def _verify_chunk(
+    task: tuple[np.ndarray, np.ndarray, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Worker: Hamming-verify one candidate chunk against the threshold."""
+    rows_a, rows_b, threshold = task
+    xor = _VERIFY_STATE["a"][rows_a] ^ _VERIFY_STATE["b"][rows_b]
+    dist = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
+    keep = dist <= threshold
+    return rows_a[keep], rows_b[keep], dist[keep]
+
+
 class CompactHammingLinker:
     """The cBV-HB blocking/matching method.
 
@@ -108,6 +137,8 @@ class CompactHammingLinker:
         scheme: QGramScheme | None = None,
         attribute_names: Sequence[str] | None = None,
         seed: int | None = None,
+        parallel: ParallelConfig | None = None,
+        max_chunk_pairs: int | None = None,
     ):
         if (threshold is None) == (rule is None):
             raise ValueError("specify exactly one of threshold (record-level) or rule")
@@ -124,6 +155,8 @@ class CompactHammingLinker:
         self.scheme = scheme
         self.attribute_names = list(attribute_names) if attribute_names else None
         self.seed = seed
+        self.parallel = parallel or ParallelConfig()
+        self.max_chunk_pairs = max_chunk_pairs
         self.encoder: RecordEncoder | None = None
 
     # -- constructors ------------------------------------------------------------
@@ -138,6 +171,8 @@ class CompactHammingLinker:
         calibration: CalibrationConfig | None = None,
         scheme: QGramScheme | None = None,
         seed: int | None = None,
+        parallel: ParallelConfig | None = None,
+        max_chunk_pairs: int | None = None,
     ) -> "CompactHammingLinker":
         """Standard HB over the whole record-level c-vector (Section 4.2)."""
         return cls(
@@ -148,6 +183,8 @@ class CompactHammingLinker:
             calibration=calibration,
             scheme=scheme,
             seed=seed,
+            parallel=parallel,
+            max_chunk_pairs=max_chunk_pairs,
         )
 
     @classmethod
@@ -160,11 +197,14 @@ class CompactHammingLinker:
         scheme: QGramScheme | None = None,
         attribute_names: Sequence[str] | None = None,
         seed: int | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> "CompactHammingLinker":
         """Attribute-level blocking adapted to ``rule`` (Section 5.4).
 
         ``rule`` refers to attributes by the encoder's names (``f1..fn``
-        by default, or ``attribute_names``).
+        by default, or ``attribute_names``).  ``parallel`` shards the
+        embedding stage; the rule-aware candidate stage itself runs
+        single-process.
         """
         return cls(
             rule=rule,
@@ -174,6 +214,7 @@ class CompactHammingLinker:
             scheme=scheme,
             attribute_names=attribute_names,
             seed=seed,
+            parallel=parallel,
         )
 
     # -- pipeline -----------------------------------------------------------------
@@ -186,7 +227,12 @@ class CompactHammingLinker:
         one c-vector encoder per attribute.
         """
         rows: list[tuple[str, ...]] = []
-        rng = np.random.default_rng(self.calibration.seed)
+        # Fall back to the linker seed so one seed fully determines the
+        # pipeline (sampling included), as the architecture doc promises.
+        sample_seed = (
+            self.calibration.seed if self.calibration.seed is not None else self.seed
+        )
+        rng = np.random.default_rng(sample_seed)
         per_dataset = max(1, self.calibration.sample_size // max(1, len(datasets)))
         for dataset in datasets:
             all_rows = _value_rows(dataset)
@@ -222,12 +268,21 @@ class CompactHammingLinker:
             delta=self.delta,
             n_tables=self.n_tables,
             seed=self.seed,
+            max_chunk_pairs=self.max_chunk_pairs,
         )
 
     def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
-        """Run the full calibrate/embed/block/match pipeline."""
+        """Run the full calibrate/embed/block/match pipeline.
+
+        The record-level path streams memory-bounded candidate chunks
+        (``max_chunk_pairs``) and verifies them — fanned out over worker
+        processes when ``parallel.n_jobs > 1``.  Chunk partitioning and
+        result order are deterministic, so the output is identical for
+        every ``n_jobs`` / ``max_chunk_pairs`` setting.
+        """
         rows_a = _value_rows(dataset_a)
         rows_b = _value_rows(dataset_b)
+        counters: dict[str, float] = {}
 
         t0 = time.perf_counter()
         if self.encoder is None:
@@ -237,8 +292,15 @@ class CompactHammingLinker:
         t_calibrate = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        matrix_a = encoder.encode_dataset(rows_a)
-        matrix_b = encoder.encode_dataset(rows_b)
+        stats_a: dict[str, float] = {}
+        stats_b: dict[str, float] = {}
+        matrix_a = encoder.encode_dataset(rows_a, parallel=self.parallel, stats=stats_a)
+        matrix_b = encoder.encode_dataset(rows_b, parallel=self.parallel, stats=stats_b)
+        values = stats_a.get("intern_values", 0.0) + stats_b.get("intern_values", 0.0)
+        unique = stats_a.get("intern_unique", 0.0) + stats_b.get("intern_unique", 0.0)
+        counters["intern_values"] = values
+        counters["intern_unique"] = unique
+        counters["intern_hit_rate"] = 1.0 - unique / values if values else 0.0
         t_embed = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -249,6 +311,7 @@ class CompactHammingLinker:
         t0 = time.perf_counter()
         if isinstance(blocker, RuleAwareBlocker):
             cand_a, cand_b = blocker.candidate_pairs(matrix_b)
+            n_candidates = int(cand_a.size)
             distances = (
                 encoder.attribute_distances(matrix_a, cand_a, matrix_b, cand_b)
                 if cand_a.size
@@ -263,21 +326,16 @@ class CompactHammingLinker:
             attr_distances = {name: d[accepted] for name, d in distances.items()}
             record_distances = None
         else:
-            cand_a, cand_b = blocker.candidate_pairs(matrix_b)
-            if cand_a.size:
-                dist = matrix_a.hamming_rows(cand_a, matrix_b, cand_b)
-                keep = dist <= (self.threshold or 0)
-                out_a, out_b, record_distances = cand_a[keep], cand_b[keep], dist[keep]
-            else:
-                out_a, out_b = cand_a, cand_b
-                record_distances = np.empty(0, dtype=np.int64)
+            out_a, out_b, record_distances, n_candidates = self._match_record_level(
+                blocker, matrix_a, matrix_b, counters
+            )
             attr_distances = {}
         t_match = time.perf_counter() - t0
 
         return LinkageResult(
             rows_a=out_a,
             rows_b=out_b,
-            n_candidates=int(cand_a.size),
+            n_candidates=n_candidates,
             comparison_space=len(rows_a) * len(rows_b),
             timings={
                 "calibrate": t_calibrate,
@@ -287,7 +345,41 @@ class CompactHammingLinker:
             },
             attribute_distances=attr_distances,
             record_distances=record_distances,
+            counters=counters,
         )
+
+    def _match_record_level(
+        self,
+        blocker: HammingLSH,
+        matrix_a: "BitMatrix",
+        matrix_b: "BitMatrix",
+        counters: dict[str, float],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Chunked, optionally parallel verification of the candidate stream.
+
+        Returns ``(rows_a, rows_b, distances, n_candidates)`` sorted by
+        encoded pair id (the historical :meth:`HammingLSH.match` order).
+        """
+        threshold = self.threshold or 0
+        chunks = list(blocker.candidate_chunks(matrix_b, counters=counters))
+        n_candidates = sum(int(chunk_a.size) for chunk_a, _ in chunks)
+        counters["pairs_verified"] = float(n_candidates)
+        empty = np.empty(0, dtype=np.int64)
+        if not chunks:
+            return empty, empty, empty, 0
+        tasks = [(chunk_a, chunk_b, threshold) for chunk_a, chunk_b in chunks]
+        parts = parallel_map(
+            _verify_chunk,
+            tasks,
+            self.parallel,
+            initializer=_init_verify_worker,
+            initargs=(matrix_a.words, matrix_b.words),
+        )
+        out_a = np.concatenate([p[0] for p in parts])
+        out_b = np.concatenate([p[1] for p in parts])
+        dist = np.concatenate([p[2] for p in parts])
+        order = np.argsort(out_a * matrix_b.n_rows + out_b, kind="stable")
+        return out_a[order], out_b[order], dist[order], n_candidates
 
     def link_multiple(self, datasets: Sequence) -> dict[tuple[int, int], LinkageResult]:
         """Link every dataset pair ``(i, j), i < j`` with one shared encoder.
@@ -328,28 +420,54 @@ class StreamingLinker:
         self._lsh = HammingLSH(
             n_bits=encoder.total_bits, k=k, threshold=threshold, delta=delta, seed=seed
         )
-        self._vectors: list[BitVector] = []
+        self._n_words = (encoder.total_bits + 63) // 64
+        self._words = np.empty((0, self._n_words), dtype=np.uint64)
+        self._count = 0
 
     def __len__(self) -> int:
-        return len(self._vectors)
+        return self._count
+
+    def vector(self, record_id: int) -> BitVector:
+        """The stored embedding of an inserted record."""
+        if not 0 <= record_id < self._count:
+            raise IndexError(f"record id {record_id} out of range for {self._count} records")
+        return BitVector.from_packed(self._words[record_id], self.encoder.total_bits)
 
     def insert(self, values: Sequence[str]) -> int:
-        """Insert one record; returns its internal id."""
+        """Insert one record; returns its internal id.
+
+        The packed words land in a growable (amortised-doubling) array so
+        queries can batch candidate distances through one popcount kernel.
+        """
         vector = self.encoder.encode(values)
-        record_id = len(self._vectors)
-        self._vectors.append(vector)
+        record_id = self._count
+        if record_id == len(self._words):
+            capacity = max(16, 2 * len(self._words))
+            grown = np.empty((capacity, self._n_words), dtype=np.uint64)
+            grown[: self._count] = self._words[: self._count]
+            self._words = grown
+        self._words[record_id] = vector.to_packed()
+        self._count += 1
         self._lsh.insert(vector, record_id)
         return record_id
 
     def query(self, values: Sequence[str]) -> list[tuple[int, int]]:
-        """Matching (id, distance) pairs for one incoming record."""
+        """Matching (id, distance) pairs for one incoming record.
+
+        Candidate ids from all blocking groups are verified in one batched
+        ``bitwise_count`` sweep over the packed store instead of a per-id
+        Python-integer Hamming loop.
+        """
         vector = self.encoder.encode(values)
-        out: list[tuple[int, int]] = []
-        for rid in self._lsh.query(vector):
-            distance = self._vectors[rid].hamming(vector)
-            if distance <= self.threshold:
-                out.append((rid, distance))
-        return out
+        ids = self._lsh.query(vector)
+        if not ids:
+            return []
+        rows = np.asarray(ids, dtype=np.int64)
+        distances = hamming_packed(self._words[rows], vector.to_packed())
+        keep = distances <= self.threshold
+        return [
+            (int(rid), int(dist)) for rid, dist in zip(rows[keep], distances[keep])
+        ]
 
     def insert_dataset(self, dataset: DatasetLike) -> None:
         """Bulk insert of a dataset (convenience for warm-up)."""

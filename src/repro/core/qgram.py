@@ -12,11 +12,20 @@ character in the alphabet ``S``.  For the upper-case alphabet and bigrams,
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.hamming.bitvector import BitVector
-from repro.text.alphabet import Alphabet, DEFAULT_ALPHABET
+from repro.text.alphabet import Alphabet, AlphabetError, DEFAULT_ALPHABET
 from repro.text.normalize import pad as pad_string
+
+#: Capacity of the process-wide q-gram index-set cache.  Real datasets
+#: (NCVR names, DBLP authors) repeat attribute values heavily, so most
+#: ``index_set`` lookups after warm-up are cache hits.
+INDEX_SET_CACHE_SIZE = 1 << 16
 
 
 def qgrams(value: str, q: int = 2, padded: bool = False, pad_char: str = "_") -> list[str]:
@@ -40,7 +49,8 @@ def qgrams(value: str, q: int = 2, padded: bool = False, pad_char: str = "_") ->
 def qgram_index(gram: str, alphabet: Alphabet = DEFAULT_ALPHABET) -> int:
     """Algorithm 1: map a q-gram to its position in the q-gram vector.
 
-    ``ind = sum_i ord(gr[i]) * |S|^(q - i)`` with zero-based ``ord``.
+    ``ind = sum_i ord(gr[i]) * |S|^(q - 1 - i)`` with zero-based ``ord``
+    (a Horner evaluation of the q-gram as a base-``|S|`` numeral).
 
     >>> qgram_index('JO'), qgram_index('OH'), qgram_index('HN')
     (248, 371, 195)
@@ -87,6 +97,99 @@ def qgram_index_set(
     )
 
 
+@lru_cache(maxsize=32)
+def _alphabet_lut(alphabet: Alphabet) -> np.ndarray:
+    """Code-point lookup table: ``lut[ord(ch)]`` is Algorithm 1's ``ord(ch)``.
+
+    Characters outside the alphabet map to ``-1`` (or fall off the table).
+    Cached per alphabet; tables are tiny for ASCII alphabets.
+    """
+    ords = np.fromiter((ord(ch) for ch in alphabet.chars), dtype=np.int64)
+    lut = np.full(int(ords.max()) + 1, -1, dtype=np.int64)
+    lut[ords] = np.arange(ords.size, dtype=np.int64)
+    return lut
+
+
+def batch_qgram_indices(
+    values: Sequence[str],
+    q: int = 2,
+    alphabet: Alphabet = DEFAULT_ALPHABET,
+    padded: bool = False,
+    pad_char: str = "_",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised Algorithm 1 over a whole column of strings at once.
+
+    Returns ``(flat, counts)``: ``counts[i]`` is the number of q-grams of
+    ``values[i]`` (with repeats, in occurrence order) and ``flat``
+    concatenates their q-gram vector positions.  Equivalent to mapping
+    :func:`qgram_index` over :func:`qgrams` per value, but evaluated with
+    a fixed number of numpy operations over the concatenated column —
+    this is the hot-path tokeniser behind value interning.
+
+    >>> flat, counts = batch_qgram_indices(['JOHN', 'OH'])
+    >>> flat.tolist(), counts.tolist()
+    ([248, 371, 195, 371], [3, 1])
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if padded:
+        values = [pad_string(value, q, pad_char) for value in values]
+    n = len(values)
+    lengths = np.fromiter((len(v) for v in values), dtype=np.int64, count=n)
+    counts = np.maximum(lengths - q + 1, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    codes = np.frombuffer("".join(values).encode("utf-32-le"), dtype="<u4").astype(np.int64)
+    lut = _alphabet_lut(alphabet)
+    starts = np.cumsum(lengths) - lengths
+    offsets = np.cumsum(counts) - counts
+    pos = np.repeat(starts, counts) + (
+        np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    )
+    size = len(alphabet)
+    flat = np.zeros(total, dtype=np.int64)
+    for j in range(q):
+        at = codes[pos + j]
+        mapped = lut[np.minimum(at, lut.size - 1)]
+        mapped[at >= lut.size] = -1
+        if mapped.min() < 0:
+            bad = chr(int(at[mapped < 0][0]))
+            raise AlphabetError(
+                f"character {bad!r} is not in alphabet {alphabet.chars!r}"
+            )
+        flat = flat * size + mapped
+    return flat, counts
+
+
+@lru_cache(maxsize=INDEX_SET_CACHE_SIZE)
+def interned_index_set(
+    value: str,
+    q: int = 2,
+    alphabet: Alphabet = DEFAULT_ALPHABET,
+    padded: bool = False,
+    pad_char: str = "_",
+) -> frozenset[int]:
+    """Memoised :func:`qgram_index_set` — the hot-path interning cache.
+
+    The returned frozenset is immutable, so sharing one object between all
+    occurrences of a repeated value is safe.  Keyed on the full extraction
+    scheme, so schemes with different alphabets or padding never alias.
+    """
+    return qgram_index_set(value, q, alphabet, padded, pad_char)
+
+
+def index_set_cache_info() -> "tuple[int, int, int | None, int]":
+    """``(hits, misses, maxsize, currsize)`` of the interning cache."""
+    info = interned_index_set.cache_info()
+    return (info.hits, info.misses, info.maxsize, info.currsize)
+
+
+def clear_index_set_cache() -> None:
+    """Drop every cached index set (mainly for tests and benchmarks)."""
+    interned_index_set.cache_clear()
+
+
 @dataclass(frozen=True)
 class QGramScheme:
     """A fully specified q-gram extraction scheme.
@@ -118,8 +221,8 @@ class QGramScheme:
         return qgrams(value, self.q, self.padded, self.pad_char)
 
     def index_set(self, value: str) -> frozenset[int]:
-        """``U_s`` for ``value`` under this scheme."""
-        return qgram_index_set(value, self.q, self.alphabet, self.padded, self.pad_char)
+        """``U_s`` for ``value`` under this scheme (memoised per value)."""
+        return interned_index_set(value, self.q, self.alphabet, self.padded, self.pad_char)
 
     def count(self, value: str) -> int:
         """Number of q-grams produced by ``value`` (with repeats).

@@ -171,24 +171,20 @@ class BitVector:
         return np.fromiter(iter(self), dtype=np.uint8, count=self._n)
 
     def to_packed(self) -> np.ndarray:
-        """Little-endian packed ``uint64`` words (bit ``j`` -> word ``j // 64``)."""
+        """Little-endian packed ``uint64`` words (bit ``j`` -> word ``j // 64``).
+
+        One ``int.to_bytes`` call instead of a per-word Python loop.
+        """
         n_words = (self._n + 63) // 64
-        words = np.empty(n_words, dtype=np.uint64)
-        bits = self._bits
-        mask = (1 << 64) - 1
-        for w in range(n_words):
-            words[w] = bits & mask
-            bits >>= 64
-        return words
+        raw = self._bits.to_bytes(n_words * 8, "little")
+        return np.frombuffer(raw, dtype="<u8").astype(np.uint64)
 
     @classmethod
     def from_packed(cls, words: np.ndarray, n_bits: int) -> "BitVector":
-        """Inverse of :meth:`to_packed`."""
-        value = 0
-        for w, word in enumerate(np.asarray(words, dtype=np.uint64)):
-            value |= int(word) << (64 * w)
+        """Inverse of :meth:`to_packed` (one ``int.from_bytes`` call)."""
+        raw = np.ascontiguousarray(words, dtype="<u8").tobytes()
         mask = (1 << n_bits) - 1
-        return cls(n_bits, value & mask)
+        return cls(n_bits, int.from_bytes(raw, "little") & mask)
 
     # -- dunder housekeeping --------------------------------------------------
 

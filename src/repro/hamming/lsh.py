@@ -13,9 +13,20 @@ each unique pair to a classification rule (here: a distance threshold or a
 
 The implementation is vectorised: blocking keys for a whole
 :class:`~repro.hamming.bitmatrix.BitMatrix` are produced per group with one
-column gather, and the candidate-pair stream is de-duplicated with one
-``numpy.unique`` over encoded pair ids — semantically identical to
-Algorithm 2's ``UniqueCollection`` but dataset-at-a-time.
+column gather, bulk-indexed groups store their ids sorted by key (no
+Python dict of buckets), matching buckets are found with a sort-merge
+join (two binary searches per distinct probe key) and expanded with
+gather arithmetic, and the candidate-pair stream is de-duplicated over
+encoded pair ids — semantically identical to Algorithm 2's
+``UniqueCollection`` but dataset-at-a-time.
+
+De-duplication is *memory-bounded*: instead of materialising every
+bucket's cross-product before a single global ``numpy.unique`` (which
+blows up on skewed buckets), :meth:`HammingLSH.candidate_chunks` buffers
+raw products only up to a configurable ``max_chunk_pairs`` budget, then
+flushes a chunk — de-duplicated against everything already emitted via a
+vectorised sorted merge.  Peak transient memory is ``O(max_chunk_pairs +
+n_unique_candidates)`` rather than ``O(sum of raw cross-products)``.
 """
 
 from __future__ import annotations
@@ -28,6 +39,125 @@ import numpy as np
 from repro.hamming.bitmatrix import BitMatrix
 from repro.hamming.bitvector import BitVector
 from repro.hamming.theory import hamming_lsh_parameters
+
+
+def _split_out_fresh(chunk: np.ndarray, seen: np.ndarray) -> np.ndarray:
+    """Elements of sorted ``chunk`` absent from sorted ``seen``."""
+    if not seen.size:
+        return chunk
+    pos = np.searchsorted(seen, chunk)
+    in_range = pos < seen.size
+    dup = in_range.copy()
+    dup[in_range] = seen[pos[in_range]] == chunk[in_range]
+    return chunk[~dup]
+
+
+def _sorted_merge(seen: np.ndarray, fresh: np.ndarray) -> np.ndarray:
+    """Merge two sorted, disjoint int64 arrays in ``O(n)`` without re-sorting."""
+    if not seen.size:
+        return fresh
+    if not fresh.size:
+        return seen
+    out = np.empty(seen.size + fresh.size, dtype=np.int64)
+    at = np.searchsorted(seen, fresh) + np.arange(fresh.size, dtype=np.int64)
+    mask = np.zeros(out.size, dtype=bool)
+    mask[at] = True
+    out[mask] = fresh
+    out[~mask] = seen
+    return out
+
+
+def _generation_stats() -> dict[str, float]:
+    """Fresh zeroed candidate-generation counters."""
+    return {
+        "pairs_generated": 0.0,
+        "pairs_unique": 0.0,
+        "pairs_duplicates": 0.0,
+        "n_chunks": 0.0,
+        "peak_chunk_pairs": 0.0,
+        "max_bucket_product": 0.0,
+    }
+
+
+def _sliced_product(
+    rows_a: np.ndarray, rows_b: np.ndarray, n_b: int, budget: int
+) -> Iterator[np.ndarray]:
+    """Cross-product of one oversized bucket in slices of ``<= budget`` pairs."""
+    a_step = min(int(rows_a.size), budget)
+    for a_lo in range(0, int(rows_a.size), a_step):
+        sub_a = rows_a[a_lo : a_lo + a_step]
+        b_step = max(1, budget // int(sub_a.size))
+        for b_lo in range(0, int(rows_b.size), b_step):
+            sub_b = rows_b[b_lo : b_lo + b_step]
+            yield np.repeat(sub_a, sub_b.size) * n_b + np.tile(sub_b, sub_a.size)
+
+
+def _join_products(
+    keys_a: np.ndarray,
+    ids_a: np.ndarray,
+    sorted_keys_b: np.ndarray,
+    order_b: np.ndarray,
+    boundaries_b: np.ndarray,
+    n_b: int,
+    budget: int | None,
+    stats: dict[str, float],
+) -> Iterator[np.ndarray]:
+    """Sort-merge join of one group's bulk index against the ``B`` keys.
+
+    Matching buckets are located with two binary searches per distinct
+    ``B`` key, then their cross-products are expanded with pure gather
+    arithmetic — no per-bucket Python loop.  Consecutive buckets are
+    emitted together in segments whose total product fits the budget; a
+    single bucket larger than the budget is emitted in slices.
+    """
+    if boundaries_b.size == 0:
+        return
+    unique_b = sorted_keys_b[boundaries_b]
+    run_ends = np.r_[boundaries_b[1:], sorted_keys_b.size]
+    lo = np.searchsorted(keys_a, unique_b, side="left")
+    hi = np.searchsorted(keys_a, unique_b, side="right")
+    matched = hi > lo
+    if not bool(matched.any()):
+        return
+    count_a = (hi - lo)[matched]
+    start_a = lo[matched]
+    start_b = boundaries_b[matched]
+    count_b = (run_ends - boundaries_b)[matched]
+    products = count_a * count_b
+    stats["pairs_generated"] += float(products.sum())
+    stats["max_bucket_product"] = max(stats["max_bucket_product"], float(products.max()))
+
+    def expand(s: int, e: int) -> np.ndarray:
+        """Concatenated cross-products of buckets ``s..e`` (a-major order)."""
+        p = products[s:e]
+        total = int(p.sum())
+        offsets = np.cumsum(p) - p
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, p)
+        cb = np.repeat(count_b[s:e], p)
+        a_off = within // cb
+        b_off = within - a_off * cb
+        rows_a = ids_a[np.repeat(start_a[s:e], p) + a_off]
+        rows_b = order_b[np.repeat(start_b[s:e], p) + b_off]
+        return rows_a * n_b + rows_b
+
+    n_buckets = int(products.size)
+    if budget is None:
+        yield expand(0, n_buckets)
+        return
+    cumulative = np.cumsum(products)
+    start = 0
+    floor = 0
+    while start < n_buckets:
+        end = int(np.searchsorted(cumulative, floor + budget, side="right"))
+        if end > start:
+            yield expand(start, end)
+        else:
+            rows_a = ids_a[start_a[start] : start_a[start] + count_a[start]]
+            rows_b = order_b[start_b[start] : start_b[start] + count_b[start]]
+            yield from _sliced_product(rows_a, rows_b, n_b, budget)
+            end = start + 1
+        floor = int(cumulative[end - 1])
+        start = end
 
 
 def _pack_keys(bit_columns: np.ndarray) -> np.ndarray:
@@ -65,30 +195,64 @@ class CompositeHash:
 
 
 class BlockingGroup:
-    """One blocking group ``T_l``: a composite hash plus its bucket table."""
+    """One blocking group ``T_l``: a composite hash plus its bucket table.
+
+    Bulk inserts (:meth:`insert_matrix`) are stored column-oriented — the
+    row ids sorted by blocking key next to the sorted key array — which
+    is exactly what the sort-merge candidate join consumes, and avoids
+    materialising a Python dict with one entry per bucket.  Streaming
+    inserts (:meth:`insert`) go to a dict overlay; :meth:`bucket` merges
+    both representations.
+    """
 
     def __init__(self, composite: CompositeHash):
         self.composite = composite
-        self._buckets: dict[object, list[int]] = {}
+        self._keys: np.ndarray | None = None  # sorted blocking keys (bulk inserts)
+        self._ids: np.ndarray | None = None  # row ids, parallel to _keys
+        self._buckets: dict[object, list[int]] = {}  # streaming overlay
 
     def insert_matrix(self, matrix: BitMatrix) -> None:
-        """Hash every row of ``matrix`` into the buckets (ids are row indices)."""
+        """Hash every row of ``matrix`` into the group (ids are row indices)."""
         keys = self.composite.keys_for(matrix)
+        ids = np.arange(matrix.n_rows, dtype=np.int64)
+        if self._keys is not None and self._ids is not None:
+            keys = np.concatenate([self._keys, keys])
+            ids = np.concatenate([self._ids, ids])
         order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-        boundaries = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
-        for b, start in enumerate(boundaries):
-            stop = boundaries[b + 1] if b + 1 < len(boundaries) else len(sorted_keys)
-            key = sorted_keys[start].item() if sorted_keys.dtype != object else sorted_keys[start]
-            self._buckets.setdefault(key, []).extend(order[start:stop].tolist())
+        self._keys = keys[order]
+        self._ids = ids[order]
 
     def insert(self, vector: BitVector, record_id: int) -> None:
         """Insert a single vector (streaming API)."""
         self._buckets.setdefault(self.composite.key_for(vector), []).append(record_id)
 
+    def _bulk_range(self, key: object) -> tuple[int, int]:
+        """Half-open slice of ``_ids`` holding ``key`` (empty when absent)."""
+        if self._keys is None or self._keys.size == 0:
+            return 0, 0
+        try:
+            probe = np.asarray(key, dtype=self._keys.dtype)
+        except (TypeError, ValueError):
+            return 0, 0
+        lo = int(np.searchsorted(self._keys, probe, side="left"))
+        hi = int(np.searchsorted(self._keys, probe, side="right"))
+        return lo, hi
+
+    def _bulk_boundaries(self) -> np.ndarray:
+        """Start offsets of the distinct-key runs in the bulk arrays."""
+        keys = self._keys
+        if keys is None or keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
+
     def bucket(self, key: object) -> list[int]:
         """The id list stored under ``key`` (empty when absent)."""
-        return self._buckets.get(key, [])
+        lo, hi = self._bulk_range(key)
+        out = self._ids[lo:hi].tolist() if self._ids is not None and hi > lo else []
+        extra = self._buckets.get(key)
+        if extra:
+            out = out + extra
+        return out
 
     def probe(self, vector: BitVector) -> list[int]:
         """Ids sharing this group's bucket with ``vector``."""
@@ -96,11 +260,32 @@ class BlockingGroup:
 
     @property
     def n_buckets(self) -> int:
-        return len(self._buckets)
+        n = int(self._bulk_boundaries().size)
+        for key in self._buckets:
+            lo, hi = self._bulk_range(key)
+            if lo == hi:
+                n += 1
+        return n
 
     def bucket_sizes(self) -> np.ndarray:
         """Sizes of all buckets — used for selectivity diagnostics."""
-        return np.asarray([len(ids) for ids in self._buckets.values()], dtype=np.int64)
+        bounds = self._bulk_boundaries()
+        if bounds.size and self._keys is not None:
+            ends = np.r_[bounds[1:], self._keys.size]
+            sizes = (ends - bounds).astype(np.int64)
+        else:
+            sizes = np.empty(0, dtype=np.int64)
+        extra: list[int] = []
+        for key, ids in self._buckets.items():
+            lo, hi = self._bulk_range(key)
+            if lo == hi:
+                extra.append(len(ids))
+            else:
+                run = int(np.searchsorted(bounds, lo, side="right")) - 1
+                sizes[run] += len(ids)
+        if extra:
+            sizes = np.concatenate([sizes, np.asarray(extra, dtype=np.int64)])
+        return sizes
 
 
 class HammingLSH:
@@ -121,6 +306,12 @@ class HammingLSH:
         Explicit ``L``; when ``None`` it is computed from Equation (2).
     seed:
         Seed for sampling the base hash positions.
+    max_chunk_pairs:
+        Candidate-generation memory budget: raw bucket cross-products are
+        buffered up to this many encoded pairs before being de-duplicated
+        and emitted as one chunk.  ``None`` (default) buffers everything
+        and emits a single chunk.  The candidate *set* is identical for
+        every budget; only peak memory and chunking change.
 
     Examples
     --------
@@ -137,15 +328,19 @@ class HammingLSH:
         delta: float = 0.1,
         n_tables: int | None = None,
         seed: int | None = None,
+        max_chunk_pairs: int | None = None,
     ):
         if k < 1:
             raise ValueError(f"K must be >= 1, got {k}")
         if threshold is None and n_tables is None:
             raise ValueError("provide threshold (for Equation 2) or an explicit n_tables")
+        if max_chunk_pairs is not None and max_chunk_pairs < 1:
+            raise ValueError(f"max_chunk_pairs must be >= 1, got {max_chunk_pairs}")
         self.n_bits = n_bits
         self.k = k
         self.threshold = threshold
         self.delta = delta
+        self.max_chunk_pairs = max_chunk_pairs
         if n_tables is None:
             __, n_tables = hamming_lsh_parameters(threshold, n_bits, k, delta)
         if n_tables < 1:
@@ -195,23 +390,144 @@ class HammingLSH:
                     out.append(rid)
         return out
 
-    def candidate_pairs(self, matrix_b: BitMatrix) -> tuple[np.ndarray, np.ndarray]:
+    def candidate_pairs(
+        self, matrix_b: BitMatrix, counters: dict[str, float] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """De-duplicated candidate pairs between the indexed dataset and ``matrix_b``.
 
-        Returns parallel arrays ``(rows_a, rows_b)``.  Pairs co-bucketed in
-        several groups appear once (Algorithm 2's de-duplication).
+        Returns parallel arrays ``(rows_a, rows_b)``, sorted by encoded
+        pair id.  Pairs co-bucketed in several groups appear once
+        (Algorithm 2's de-duplication).  Generation runs through the
+        memory-bounded chunk stream when ``max_chunk_pairs`` is set; the
+        result is identical either way.
         """
-        if matrix_b.n_bits != self.n_bits:
-            raise ValueError(f"width mismatch: matrix {matrix_b.n_bits} vs LSH {self.n_bits}")
-        chunks: list[np.ndarray] = []
         n_b = matrix_b.n_rows
-        for pairs in self._pairs_per_group(matrix_b):
-            chunks.append(pairs)
+        chunks = list(self._encoded_chunks(matrix_b, self.max_chunk_pairs, counters))
         if not chunks:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        encoded = np.unique(np.concatenate(chunks))
+        # Chunks are mutually disjoint and each is sorted; a final sort
+        # restores the historical global np.unique order.
+        encoded = np.sort(np.concatenate(chunks), kind="stable")
         return encoded // n_b, encoded % n_b
+
+    def candidate_chunks(
+        self,
+        matrix_b: BitMatrix,
+        max_chunk_pairs: int | None = None,
+        counters: dict[str, float] | None = None,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Stream globally de-duplicated candidate chunks of bounded size.
+
+        Each yielded ``(rows_a, rows_b)`` chunk holds at most
+        ``max_chunk_pairs`` pairs (the instance's setting when the
+        argument is ``None``), and no pair ever appears in two chunks:
+        every flush is checked against all previously emitted pairs with a
+        sorted merge.  ``counters``, when given, receives generation
+        diagnostics (see :meth:`_encoded_chunks`).
+        """
+        budget = self.max_chunk_pairs if max_chunk_pairs is None else max_chunk_pairs
+        n_b = matrix_b.n_rows
+        for encoded in self._encoded_chunks(matrix_b, budget, counters):
+            yield encoded // n_b, encoded % n_b
+
+    def _encoded_chunks(
+        self,
+        matrix_b: BitMatrix,
+        budget: int | None,
+        counters: dict[str, float] | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Sorted, mutually disjoint chunks of encoded pairs ``a * n_B + b``.
+
+        The accumulator buffers raw bucket cross-products until the budget
+        would overflow, then flushes: de-duplicate the buffer
+        (``np.unique``), drop pairs already emitted (binary search into
+        the sorted ``seen`` array), emit the fresh remainder and merge it
+        into ``seen``.  Counters recorded: ``pairs_generated`` (raw
+        products), ``pairs_unique`` (emitted), ``pairs_duplicates``,
+        ``n_chunks``, ``peak_chunk_pairs`` and ``max_bucket_product``.
+        """
+        if matrix_b.n_bits != self.n_bits:
+            raise ValueError(f"width mismatch: matrix {matrix_b.n_bits} vs LSH {self.n_bits}")
+        stats = _generation_stats()
+        seen = np.empty(0, dtype=np.int64)
+        buffer: list[np.ndarray] = []
+        buffered = 0
+        for part in self._encoded_products(matrix_b, budget, stats):
+            if budget is not None and buffered and buffered + part.size > budget:
+                fresh = _split_out_fresh(np.unique(np.concatenate(buffer)), seen)
+                seen = _sorted_merge(seen, fresh)
+                buffer, buffered = [], 0
+                if fresh.size:
+                    stats["pairs_unique"] += fresh.size
+                    stats["n_chunks"] += 1
+                    stats["peak_chunk_pairs"] = max(stats["peak_chunk_pairs"], fresh.size)
+                    yield fresh
+            buffer.append(part)
+            buffered += part.size
+        if buffer:
+            fresh = _split_out_fresh(np.unique(np.concatenate(buffer)), seen)
+            if fresh.size:
+                stats["pairs_unique"] += fresh.size
+                stats["n_chunks"] += 1
+                stats["peak_chunk_pairs"] = max(stats["peak_chunk_pairs"], fresh.size)
+                yield fresh
+        stats["pairs_duplicates"] = stats["pairs_generated"] - stats["pairs_unique"]
+        if counters is not None:
+            counters.update(stats)
+
+    def _encoded_products(
+        self, matrix_b: BitMatrix, budget: int | None, stats: dict[str, float]
+    ) -> Iterator[np.ndarray]:
+        """Raw (un-deduplicated) bucket cross-products, each ``<= budget``."""
+        for group in self.groups:
+            yield from self._group_products(group, matrix_b, budget, stats)
+
+    def _group_products(
+        self,
+        group: BlockingGroup,
+        matrix_b: BitMatrix,
+        budget: int | None,
+        stats: dict[str, float],
+    ) -> Iterator[np.ndarray]:
+        """One group's raw cross-products, no materialised array ``> budget``.
+
+        Bulk-only groups run through the vectorised sort-merge join; a
+        group holding streaming inserts falls back to a per-bucket loop
+        over :meth:`BlockingGroup.bucket` (which merges both stores).
+        """
+        n_b = matrix_b.n_rows
+        keys_b = group.composite.keys_for(matrix_b)
+        order = np.argsort(keys_b, kind="stable")
+        sorted_keys = keys_b[order]
+        boundaries = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+        if not group._buckets and group._keys is not None and group._ids is not None:
+            yield from _join_products(
+                group._keys, group._ids, sorted_keys, order, boundaries, n_b, budget, stats
+            )
+            return
+        for i, start in enumerate(boundaries):
+            stop = boundaries[i + 1] if i + 1 < len(boundaries) else len(sorted_keys)
+            key = (
+                sorted_keys[start].item()
+                if sorted_keys.dtype != object
+                else sorted_keys[start]
+            )
+            ids_a = group.bucket(key)
+            if not ids_a:
+                continue
+            rows_b = order[start:stop]
+            rows_a = np.asarray(ids_a, dtype=np.int64)
+            product = rows_a.size * rows_b.size
+            stats["pairs_generated"] += product
+            stats["max_bucket_product"] = max(stats["max_bucket_product"], product)
+            if budget is None or product <= budget:
+                yield (
+                    np.repeat(rows_a, rows_b.size) * n_b
+                    + np.tile(rows_b, rows_a.size)
+                )
+                continue
+            yield from _sliced_product(rows_a, rows_b, n_b, budget)
 
     def candidate_pairs_per_group(
         self, matrix_b: BitMatrix
@@ -227,24 +543,9 @@ class HammingLSH:
 
     def _pairs_per_group(self, matrix_b: BitMatrix) -> Iterator[np.ndarray]:
         """Encoded pairs ``a * n_B + b`` for each blocking group in turn."""
-        n_b = matrix_b.n_rows
+        stats = _generation_stats()
         for group in self.groups:
-            keys_b = group.composite.keys_for(matrix_b)
-            order = np.argsort(keys_b, kind="stable")
-            sorted_keys = keys_b[order]
-            boundaries = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
-            parts: list[np.ndarray] = []
-            for i, start in enumerate(boundaries):
-                stop = boundaries[i + 1] if i + 1 < len(boundaries) else len(sorted_keys)
-                key = sorted_keys[start].item() if sorted_keys.dtype != object else sorted_keys[start]
-                ids_a = group.bucket(key)
-                if not ids_a:
-                    continue
-                rows_b = order[start:stop]
-                rows_a = np.asarray(ids_a, dtype=np.int64)
-                grid_a = np.repeat(rows_a, len(rows_b))
-                grid_b = np.tile(rows_b, len(rows_a))
-                parts.append(grid_a * n_b + grid_b)
+            parts = list(self._group_products(group, matrix_b, None, stats))
             yield np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
 
     # -- matching ------------------------------------------------------------------

@@ -1,0 +1,17 @@
+"""Multi-core fan-out utilities for the hot-path linkage engine.
+
+The paper's headline claim is runtime: compact embeddings plus Hamming
+LSH must stay fast at the 1M-record scale of its Figures 8(b) and 12(b).
+This package provides the process/thread fan-out used by
+:class:`repro.core.encoder.RecordEncoder` (embedding sharded over record
+ranges) and :class:`repro.core.linker.CompactHammingLinker` (candidate
+verification sharded over pair chunks).
+
+Like :mod:`repro.analysis` and :mod:`repro.evaluation`, this package sits
+beside the numeric stack: it imports nothing from the layers it serves,
+so ``core`` and ``hamming`` may depend on it freely.
+"""
+
+from repro.perf.parallel import ParallelConfig, parallel_map, resolve_n_jobs
+
+__all__ = ["ParallelConfig", "parallel_map", "resolve_n_jobs"]

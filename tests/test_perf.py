@@ -1,0 +1,288 @@
+"""Tests for the hot-path engine: interning, chunked candidates, fan-out.
+
+Covers the three layers of the performance engine plus the invariants the
+engine must never break: identical output for every ``n_jobs`` setting and
+for every ``max_chunk_pairs`` budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cvector import CVectorEncoder, intern_column
+from repro.core.encoder import RecordEncoder
+from repro.core.linker import CompactHammingLinker, StreamingLinker
+from repro.core.qgram import (
+    QGramScheme,
+    clear_index_set_cache,
+    index_set_cache_info,
+    qgram_index_set,
+)
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.hamming.bitmatrix import BitMatrix, scatter_bits
+from repro.hamming.lsh import HammingLSH
+from repro.perf import ParallelConfig, parallel_map, resolve_n_jobs
+
+
+def random_matrix(seed, n_rows, n_bits, density=0.3):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n_rows, n_bits)) < density
+    rows, bits = np.nonzero(mask)
+    return scatter_bits(n_rows, n_bits, rows, bits)
+
+
+RECORDS = [
+    ("JOHN", "SMITH"),
+    ("JANE", "SMITH"),
+    ("JOHN", "DOE"),
+    ("JOHN", "SMITH"),
+    ("", "SMITH"),
+] * 8
+
+
+class TestInternedEncoding:
+    def test_interned_index_set_matches_uncached(self):
+        scheme = QGramScheme()
+        for value in ("JOHN", "SMITH", "", "A"):
+            assert scheme.index_set(value) == qgram_index_set(value)
+
+    def test_cache_hits_on_repeated_values(self):
+        clear_index_set_cache()
+        scheme = QGramScheme()
+        scheme.index_set("REPEATED")
+        before_hits = index_set_cache_info()[0]
+        scheme.index_set("REPEATED")
+        assert index_set_cache_info()[0] == before_hits + 1
+
+    def test_intern_column_counts(self):
+        column = intern_column(["JOHN", "JANE", "JOHN", "JOHN"], QGramScheme())
+        assert column.n_values == 4
+        assert column.n_unique == 2
+        assert column.hit_rate == pytest.approx(0.5)
+
+    def test_encode_all_matches_per_string_encode(self):
+        enc = CVectorEncoder(64, seed=1)
+        values = ["JOHN", "", "JOHN", "AB", "SMITH"]
+        expected = BitMatrix.from_vectors([enc.encode(v) for v in values])
+        assert enc.encode_all(values) == expected
+
+    def test_encode_dataset_matches_per_record_encode(self):
+        enc = RecordEncoder.calibrated(RECORDS, seed=3)
+        expected = BitMatrix.from_vectors([enc.encode(r) for r in RECORDS])
+        assert enc.encode_dataset(RECORDS) == expected
+
+    def test_encode_dataset_sharded_identical(self):
+        enc = RecordEncoder.calibrated(RECORDS, seed=3)
+        single = enc.encode_dataset(RECORDS)
+        for config in (
+            ParallelConfig(n_jobs=4),
+            ParallelConfig(n_jobs=2, chunk_size=7),
+            ParallelConfig(n_jobs=3, backend="thread"),
+        ):
+            assert enc.encode_dataset(RECORDS, parallel=config) == single
+
+    def test_encode_dataset_reports_intern_stats(self):
+        enc = RecordEncoder.calibrated(RECORDS, seed=3)
+        stats = {}
+        enc.encode_dataset(RECORDS, stats=stats)
+        assert stats["intern_values"] == len(RECORDS) * 2
+        assert 0.0 < stats["intern_hit_rate"] < 1.0
+
+    def test_compact_indices_cached(self):
+        enc = CVectorEncoder(64, seed=1)
+        assert enc.compact_indices("JOHN") is enc.compact_indices("JOHN")
+
+
+class TestParallelConfig:
+    def test_defaults_single_process(self):
+        config = ParallelConfig()
+        assert config.n_jobs == 1
+        assert config.effective_jobs == 1
+
+    def test_zero_means_all_cores(self):
+        assert ParallelConfig(n_jobs=0).effective_jobs == resolve_n_jobs(0) >= 1
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(n_jobs=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            ParallelConfig(backend="fiber")
+
+    def test_shard_ranges_cover_everything_in_order(self):
+        config = ParallelConfig(n_jobs=3, chunk_size=7)
+        ranges = config.shard_ranges(20)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 20
+        assert all(hi == ranges[i + 1][0] for i, (_, hi) in enumerate(ranges[:-1]))
+
+    def test_shard_ranges_even_split_without_chunk_size(self):
+        assert ParallelConfig(n_jobs=4).shard_ranges(10) == [
+            (0, 3),
+            (3, 6),
+            (6, 9),
+            (9, 10),
+        ]
+        assert ParallelConfig().shard_ranges(0) == []
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_single_process_is_plain_loop(self):
+        config = ParallelConfig(n_jobs=1)
+        assert parallel_map(_square, [1, 2, 3], config) == [1, 4, 9]
+
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_parallel_preserves_order(self, backend):
+        config = ParallelConfig(n_jobs=3, backend=backend)
+        assert parallel_map(_square, list(range(10)), config) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], ParallelConfig(n_jobs=4)) == []
+
+
+class TestChunkedCandidates:
+    def setup_method(self):
+        self.matrix_a = random_matrix(1, 120, 80)
+        self.matrix_b = random_matrix(2, 90, 80)
+
+    def _lsh(self, max_chunk_pairs=None):
+        lsh = HammingLSH(
+            n_bits=80, k=6, n_tables=8, seed=4, max_chunk_pairs=max_chunk_pairs
+        )
+        lsh.index(self.matrix_a)
+        return lsh
+
+    def test_chunked_equals_unchunked_for_any_budget(self):
+        ref_a, ref_b = self._lsh().candidate_pairs(self.matrix_b)
+        for budget in (1, 13, 128, 10**9):
+            got_a, got_b = self._lsh(budget).candidate_pairs(self.matrix_b)
+            assert np.array_equal(got_a, ref_a)
+            assert np.array_equal(got_b, ref_b)
+
+    def test_chunks_are_disjoint_and_bounded(self):
+        budget = 50
+        lsh = self._lsh(budget)
+        n_b = self.matrix_b.n_rows
+        encoded_chunks = [
+            a * n_b + b for a, b in lsh.candidate_chunks(self.matrix_b)
+        ]
+        assert all(chunk.size <= budget for chunk in encoded_chunks)
+        merged = np.concatenate(encoded_chunks)
+        assert merged.size == np.unique(merged).size
+
+    def test_counters_account_for_duplicates(self):
+        counters = {}
+        lsh = self._lsh(64)
+        rows_a, _ = lsh.candidate_pairs(self.matrix_b, counters=counters)
+        assert counters["pairs_unique"] == rows_a.size
+        assert counters["pairs_generated"] >= counters["pairs_unique"]
+        assert (
+            counters["pairs_duplicates"]
+            == counters["pairs_generated"] - counters["pairs_unique"]
+        )
+        assert counters["peak_chunk_pairs"] <= 64
+
+    def test_rejects_invalid_budget(self):
+        with pytest.raises(ValueError):
+            HammingLSH(n_bits=8, k=2, n_tables=1, max_chunk_pairs=0)
+
+
+class TestLinkageInvariance:
+    """Same seed => byte-identical results for every engine setting."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return build_linkage_problem(NCVRGenerator(), 250, scheme_pl(), seed=7)
+
+    @pytest.fixture(scope="class")
+    def reference(self, problem):
+        linker = CompactHammingLinker.record_level(threshold=4, k=30, seed=7)
+        return linker.link(problem.dataset_a, problem.dataset_b)
+
+    def _assert_identical(self, result, reference):
+        assert np.array_equal(result.rows_a, reference.rows_a)
+        assert np.array_equal(result.rows_b, reference.rows_b)
+        assert np.array_equal(result.record_distances, reference.record_distances)
+        assert result.n_candidates == reference.n_candidates
+        assert result.matches == reference.matches
+
+    def test_n_jobs_invariance(self, problem, reference):
+        for config in (ParallelConfig(n_jobs=4), ParallelConfig(n_jobs=2, backend="thread")):
+            linker = CompactHammingLinker.record_level(
+                threshold=4, k=30, seed=7, parallel=config
+            )
+            self._assert_identical(
+                linker.link(problem.dataset_a, problem.dataset_b), reference
+            )
+
+    def test_chunked_invariance(self, problem, reference):
+        for budget in (37, 512):
+            linker = CompactHammingLinker.record_level(
+                threshold=4, k=30, seed=7, max_chunk_pairs=budget
+            )
+            self._assert_identical(
+                linker.link(problem.dataset_a, problem.dataset_b), reference
+            )
+
+    def test_chunked_parallel_invariance(self, problem, reference):
+        linker = CompactHammingLinker.record_level(
+            threshold=4,
+            k=30,
+            seed=7,
+            parallel=ParallelConfig(n_jobs=4),
+            max_chunk_pairs=64,
+        )
+        self._assert_identical(
+            linker.link(problem.dataset_a, problem.dataset_b), reference
+        )
+
+    def test_counters_populated(self, problem):
+        linker = CompactHammingLinker.record_level(
+            threshold=4, k=30, seed=7, max_chunk_pairs=128
+        )
+        result = linker.link(problem.dataset_a, problem.dataset_b)
+        for key in (
+            "intern_hit_rate",
+            "pairs_generated",
+            "pairs_unique",
+            "pairs_verified",
+            "peak_chunk_pairs",
+        ):
+            assert key in result.counters
+        assert result.counters["pairs_verified"] == result.n_candidates
+
+
+class TestStreamingBatchedQuery:
+    def test_query_matches_per_id_reference(self):
+        rows = NCVRGenerator().generate(120, seed=11).value_rows()
+        encoder = RecordEncoder.calibrated(rows, scheme=EXPERIMENT_SCHEME, seed=11)
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=11)
+        for values in rows[:80]:
+            streaming.insert(values)
+        for values in rows[40:]:
+            got = streaming.query(values)
+            vector = encoder.encode(values)
+            expected = []
+            for rid in streaming._lsh.query(vector):
+                distance = streaming.vector(rid).hamming(vector)
+                if distance <= streaming.threshold:
+                    expected.append((rid, distance))
+            assert got == expected
+
+    def test_growable_store_roundtrips_vectors(self):
+        rows = NCVRGenerator().generate(40, seed=5).value_rows()
+        encoder = RecordEncoder.calibrated(rows, scheme=EXPERIMENT_SCHEME, seed=5)
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=5)
+        for values in rows:
+            streaming.insert(values)
+        assert len(streaming) == len(rows)
+        for i, values in enumerate(rows):
+            assert streaming.vector(i) == encoder.encode(values)
+        with pytest.raises(IndexError):
+            streaming.vector(len(rows))
