@@ -19,8 +19,14 @@ The *engine* numbers run the current ``link()`` (interned encoding,
 memory-bounded chunked de-duplication, single process by default).  The
 script also verifies the engine's invariants — identical matches across
 ``n_jobs`` settings and chunk budgets — and records the outcome in the
-JSON.  ``--check`` exits non-zero on an empty candidate stream or any
-invariance violation (the CI perf-smoke gate).
+JSON.
+
+Since ``link()`` now executes on the ``repro.pipeline`` stage runner, the
+script additionally times the same engine path driven *inline* (no stage
+objects, no runner bookkeeping) and reports the runner's overhead ratio;
+``--check`` exits non-zero on an empty candidate stream, any invariance
+violation, or a runner overhead beyond tolerance (the CI perf-smoke
+gate).
 """
 
 import argparse
@@ -157,6 +163,81 @@ def _run_baseline(prob):
     return phases, matches, int(cand_a.size)
 
 
+#: Runner-overhead gate: the stage pipeline must stay within 5% of the
+#: inline engine path, with an absolute slack absorbing timer noise on
+#: sub-second runs.
+OVERHEAD_REPEATS = 3
+OVERHEAD_TOLERANCE = 1.05
+OVERHEAD_SLACK_S = 0.05
+
+
+def _run_direct(prob, max_chunk_pairs=None):
+    """The engine hot path driven inline — no stage objects, no runner.
+
+    Reproduces exactly what ``CompactHammingLinker.link`` does on the
+    stage pipeline (interned embed, chunked candidates, chunk-wise verify,
+    canonical pair order), so the only difference from ``_run_engine`` is
+    the runner's per-stage bookkeeping.
+    """
+    linker = CompactHammingLinker.record_level(
+        threshold=THRESHOLD, k=K, seed=SEED, max_chunk_pairs=max_chunk_pairs
+    )
+    rows_a = prob.dataset_a.value_rows()
+    rows_b = prob.dataset_b.value_rows()
+
+    start = time.perf_counter()
+    encoder = linker.calibrate(prob.dataset_a, prob.dataset_b)
+    matrix_a = encoder.encode_dataset(rows_a)
+    matrix_b = encoder.encode_dataset(rows_b)
+    lsh = linker._build_blocker(encoder)
+    lsh.index(matrix_a)
+    counters = {}
+    parts_a, parts_b = [], []
+    words_a, words_b = matrix_a.words, matrix_b.words
+    n_candidates = 0
+    for chunk_a, chunk_b in lsh.candidate_chunks(matrix_b, counters=counters):
+        n_candidates += chunk_a.size
+        xor = words_a[chunk_a] ^ words_b[chunk_b]
+        dist = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
+        keep = dist <= THRESHOLD
+        parts_a.append(chunk_a[keep])
+        parts_b.append(chunk_b[keep])
+    if parts_a:
+        out_a = np.concatenate(parts_a)
+        out_b = np.concatenate(parts_b)
+        order = np.argsort(out_a * len(rows_b) + out_b, kind="stable")
+        out_a, out_b = out_a[order], out_b[order]
+    else:
+        out_a = out_b = np.empty(0, dtype=np.int64)
+    elapsed = time.perf_counter() - start
+    matches = set(zip(out_a.tolist(), out_b.tolist()))
+    return elapsed, matches, int(n_candidates)
+
+
+def _measure_runner_overhead(prob, max_chunk_pairs):
+    """Best-of-N inline vs pipeline timings and their agreement."""
+    direct_s = float("inf")
+    pipeline_s = float("inf")
+    direct_matches = None
+    pipeline_matches = None
+    for __ in range(OVERHEAD_REPEATS):
+        elapsed, direct_matches, __n = _run_direct(prob, max_chunk_pairs=max_chunk_pairs)
+        direct_s = min(direct_s, elapsed)
+        phases, result = _run_engine(prob, max_chunk_pairs=max_chunk_pairs)
+        pipeline_s = min(pipeline_s, phases["link_total"])
+        pipeline_matches = result.matches
+    return {
+        "direct_s": direct_s,
+        "pipeline_s": pipeline_s,
+        "ratio": pipeline_s / direct_s if direct_s > 0 else float("inf"),
+        "tolerance_ratio": OVERHEAD_TOLERANCE,
+        "slack_s": OVERHEAD_SLACK_S,
+        "within_tolerance": pipeline_s
+        <= direct_s * OVERHEAD_TOLERANCE + OVERHEAD_SLACK_S,
+        "matches_identical": direct_matches == pipeline_matches,
+    }
+
+
 def _run_engine(prob, n_jobs=1, max_chunk_pairs=None):
     """End-to-end current link() with the given engine settings."""
     linker = CompactHammingLinker.record_level(
@@ -210,6 +291,8 @@ def main(argv=None):
     )
     agrees_with_baseline = matches == baseline_matches
 
+    overhead = _measure_runner_overhead(prob, max_chunk_pairs=args.budget)
+
     speedup = (
         baseline_phases["link_total"] / engine_phases["link_total"]
         if engine_phases["link_total"] > 0
@@ -239,6 +322,7 @@ def main(argv=None):
             "counters": engine_result.counters,
         },
         "speedup_link_total": speedup,
+        "pipeline_overhead": overhead,
         "matches_identical_across_n_jobs": bool(invariant),
         "matches_identical_to_baseline": bool(agrees_with_baseline),
     }
@@ -257,6 +341,10 @@ def main(argv=None):
         )
     print(format_table(["phase", "baseline_s", "engine_s"], rows))
     print(f"speedup (link_total): {speedup:.2f}x")
+    print(
+        f"runner overhead: pipeline {overhead['pipeline_s']:.3f} s vs inline "
+        f"{overhead['direct_s']:.3f} s ({overhead['ratio']:.3f}x)"
+    )
     print(f"matches identical across n_jobs/chunking: {invariant}")
     print(f"matches identical to baseline: {agrees_with_baseline}")
     print(f"wrote {OUTPUT}")
@@ -270,6 +358,17 @@ def main(argv=None):
             return 1
         if not agrees_with_baseline:
             print("CHECK FAILED: engine matches differ from baseline", file=sys.stderr)
+            return 1
+        if not overhead["matches_identical"]:
+            print("CHECK FAILED: pipeline matches differ from inline path", file=sys.stderr)
+            return 1
+        if not overhead["within_tolerance"]:
+            print(
+                "CHECK FAILED: stage-runner overhead "
+                f"{overhead['ratio']:.3f}x exceeds {OVERHEAD_TOLERANCE:.2f}x "
+                f"(+{OVERHEAD_SLACK_S}s slack)",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

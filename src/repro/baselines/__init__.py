@@ -1,4 +1,9 @@
-"""Baseline embedding/linkage methods the paper compares against (Section 6.1)."""
+"""Baseline embedding/linkage methods the paper compares against (Section 6.1).
+
+Every linker here runs on the shared :class:`repro.pipeline.LinkagePipeline`
+runner; see ``docs/pipeline.md`` and the registry in
+:mod:`repro.pipeline.registry` for the full catalogue.
+"""
 
 from repro.baselines.bfh import BfHLinker
 from repro.baselines.canopy import CanopyLinker
@@ -10,7 +15,7 @@ from repro.baselines.bloom import (
     bloom_positions,
 )
 from repro.baselines.harra import HarraLinker, record_bigram_set
-from repro.baselines.minhash import MinHasher, MinHashLSH
+from repro.baselines.minhash import MinHasher, MinHashLinker, MinHashLSH
 from repro.baselines.pstable import (
     DEFAULT_BUCKET_WIDTH,
     EuclideanLSH,
@@ -37,6 +42,7 @@ __all__ = [
     "EuclideanLSH",
     "HarraLinker",
     "MinHashLSH",
+    "MinHashLinker",
     "MinHasher",
     "SMEBLinker",
     "StringMapEmbedder",

@@ -8,6 +8,11 @@ matching step*; the blocking threshold over the record-level filter is
 their sum, which is the distance a record pair just inside all
 attribute thresholds can reach.
 
+On the stage pipeline this is a Bloom embed stage, the shared
+``HammingLSH``-backed index/candidate stages, and the shared
+attribute-threshold classify stage fed by the Bloom encoder's masked
+per-attribute distances.
+
 The paper's criticism of this space — distances depend on the *lengths*
 of the original strings, not only on the number of errors — is observable
 here: see ``tests/test_bfh.py`` for the 'JOHN'/'JAHN' vs
@@ -16,20 +21,36 @@ here: see ``tests/test_bfh.py`` for the 'JOHN'/'JAHN' vs
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.baselines.bloom import (
+    BloomEmbedStage,
     BloomRecordEncoder,
     DEFAULT_BLOOM_BITS,
     DEFAULT_BLOOM_HASHES,
 )
 from repro.core.config import DEFAULT_DELTA, DEFAULT_K
-from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 from repro.core.qgram import QGramScheme
 from repro.hamming.lsh import HammingLSH
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.result import LinkageResult
+from repro.pipeline.runner import LinkagePipeline
+from repro.pipeline.stages import (
+    AttributeThresholdClassifyStage,
+    BlockerIndexStage,
+    MaterializedCandidateStage,
+)
+from repro.protocol import DatasetLike
+
+
+def _bloom_attribute_distances(ctx: PipelineContext) -> dict[str, np.ndarray]:
+    """Masked per-attribute Hamming distances over the candidate pairs."""
+    assert ctx.cand_a is not None and ctx.cand_b is not None
+    return ctx.encoder.attribute_distances(
+        ctx.embedded_a, ctx.cand_a, ctx.embedded_b, ctx.cand_b
+    )
 
 
 class BfHLinker:
@@ -81,17 +102,8 @@ class BfHLinker:
         self.n_tables = n_tables
         self.seed = seed
 
-    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
-        rows_a = _value_rows(dataset_a)
-        rows_b = _value_rows(dataset_b)
-
-        t0 = time.perf_counter()
-        matrix_a = self.encoder.encode_dataset(rows_a)
-        matrix_b = self.encoder.encode_dataset(rows_b)
-        t_embed = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        lsh = HammingLSH(
+    def _build_lsh(self) -> HammingLSH:
+        return HammingLSH(
             n_bits=self.encoder.total_bits,
             k=self.k,
             threshold=self.blocking_threshold,
@@ -99,41 +111,22 @@ class BfHLinker:
             n_tables=self.n_tables,
             seed=self.seed,
         )
-        lsh.index(matrix_a)
-        t_index = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        cand_a, cand_b = lsh.candidate_pairs(matrix_b)
-        if cand_a.size:
-            distances = self.encoder.attribute_distances(matrix_a, cand_a, matrix_b, cand_b)
-            accepted = np.ones(cand_a.size, dtype=bool)
-            for attribute, threshold in self.attribute_thresholds.items():
-                accepted &= distances[attribute] <= threshold
-            out_a, out_b = cand_a[accepted], cand_b[accepted]
-            attr_distances = {name: d[accepted] for name, d in distances.items()}
-        else:
-            out_a, out_b = cand_a, cand_b
-            attr_distances = {}
-        t_match = time.perf_counter() - t0
-
-        return LinkageResult(
-            rows_a=out_a,
-            rows_b=out_b,
-            n_candidates=int(cand_a.size),
-            comparison_space=len(rows_a) * len(rows_b),
-            timings={"embed": t_embed, "index": t_index, "match": t_match},
-            attribute_distances=attr_distances,
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
+        """embed -> HB blocking -> attribute-threshold matching."""
+        pipeline = LinkagePipeline(
+            [
+                BloomEmbedStage(self.encoder),
+                BlockerIndexStage(lambda ctx: self._build_lsh()),
+                MaterializedCandidateStage(),
+                AttributeThresholdClassifyStage(
+                    self.attribute_thresholds, _bloom_attribute_distances
+                ),
+            ]
         )
+        return pipeline.run(dataset_a, dataset_b)
 
     @property
     def computed_n_tables(self) -> int:
         """The L that Equation (2) yields for this configuration."""
-        lsh = HammingLSH(
-            n_bits=self.encoder.total_bits,
-            k=self.k,
-            threshold=self.blocking_threshold,
-            delta=self.delta,
-            n_tables=self.n_tables,
-            seed=self.seed,
-        )
-        return lsh.n_tables
+        return self._build_lsh().n_tables

@@ -10,23 +10,82 @@ bigram sets (cheap because set intersection needs no dynamic programming).
 Starting from the pooled records of both datasets, a random seed record
 founds a *canopy* containing every record within ``loose`` distance;
 records within ``tight`` distance are removed from the candidate-seed
-pool.  Candidate pairs are the cross-dataset pairs sharing a canopy;
-matching verifies with the compact Hamming distance, like the other
-reference baselines.
+pool.  Candidate pairs are the cross-dataset pairs sharing a canopy.
+
+On the stage pipeline this is a bigram-set + c-vector embed stage, the
+canopy clustering as the block stage, and the shared
+:class:`~repro.pipeline.stages.ThresholdVerifyStage` for compact-Hamming
+matching, like the other reference baselines.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.baselines.harra import record_bigram_set
-from repro.core.encoder import RecordEncoder
-from repro.core.linker import DatasetLike, LinkageResult, _value_rows
+from repro.baselines.minhash import record_bigram_set
 from repro.core.qgram import QGramScheme
 from repro.hamming.distance import jaccard_distance_sets
+from repro.perf import ParallelConfig
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.result import LinkageResult
+from repro.pipeline.runner import LinkagePipeline
+from repro.pipeline.stage import BlockStage
+from repro.pipeline.stages import SampledCalibrationEmbedStage, ThresholdVerifyStage
+from repro.protocol import DatasetLike
 from repro.text.alphabet import TEXT_ALPHABET
+
+
+class CanopyEmbedStage(SampledCalibrationEmbedStage):
+    """Pooled bigram sets (A then B) plus the sampled c-vector embedding."""
+
+    def run(self, ctx: PipelineContext) -> None:
+        sets = [record_bigram_set(row, self.scheme) for row in ctx.rows_a]
+        sets += [record_bigram_set(row, self.scheme) for row in ctx.rows_b]
+        ctx.extras["bigram_sets"] = sets
+        super().run(ctx)
+
+
+class _CanopyBlockStage(BlockStage):
+    """Seed canopies over the pooled records; cross-dataset co-members pair."""
+
+    def __init__(self, linker: "CanopyLinker"):
+        self.linker = linker
+
+    def run(self, ctx: PipelineContext) -> None:
+        linker = self.linker
+        sets = ctx.extras["bigram_sets"]
+        n_a, n_b = len(ctx.rows_a), len(ctx.rows_b)
+        rng = np.random.default_rng(linker.seed)
+        remaining = set(range(n_a + n_b))
+        candidate_set: set[int] = set()
+        pool = list(remaining)
+        rng.shuffle(pool)
+        for seed_idx in pool:
+            if seed_idx not in remaining:
+                continue
+            seed_set = sets[seed_idx]
+            canopy_a: list[int] = []
+            canopy_b: list[int] = []
+            for other in list(remaining):
+                distance = jaccard_distance_sets(seed_set, sets[other])
+                if distance <= linker.loose:
+                    if other < n_a:
+                        canopy_a.append(other)
+                    else:
+                        canopy_b.append(other - n_a)
+                    if distance <= linker.tight:
+                        remaining.discard(other)
+            remaining.discard(seed_idx)
+            for i in canopy_a:
+                for j in canopy_b:
+                    candidate_set.add(i * n_b + j)
+        if candidate_set:
+            encoded = np.fromiter(candidate_set, dtype=np.int64, count=len(candidate_set))
+            ctx.cand_a, ctx.cand_b = encoded // n_b, encoded % n_b
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            ctx.cand_a, ctx.cand_b = empty, empty
+        ctx.n_candidates = len(candidate_set)
 
 
 class CanopyLinker:
@@ -50,6 +109,7 @@ class CanopyLinker:
         tight: float = 0.3,
         scheme: QGramScheme | None = None,
         seed: int | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         if not 0.0 <= tight <= loose <= 1.0:
             raise ValueError(
@@ -60,67 +120,16 @@ class CanopyLinker:
         self.tight = tight
         self.scheme = scheme or QGramScheme(alphabet=TEXT_ALPHABET)
         self.seed = seed
+        self.parallel = parallel
 
     def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
-        rows_a = _value_rows(dataset_a)
-        rows_b = _value_rows(dataset_b)
-        n_a, n_b = len(rows_a), len(rows_b)
-
-        t0 = time.perf_counter()
-        sets = [record_bigram_set(row, self.scheme) for row in rows_a]
-        sets += [record_bigram_set(row, self.scheme) for row in rows_b]
-        encoder = RecordEncoder.calibrated(
-            rows_a[: min(n_a, 1000)], scheme=self.scheme, seed=self.seed
+        """embed -> canopy blocking -> Hamming verify on the shared runner."""
+        pipeline = LinkagePipeline(
+            [
+                CanopyEmbedStage(scheme=self.scheme, seed=self.seed),
+                _CanopyBlockStage(self),
+                ThresholdVerifyStage(self.threshold),
+            ],
+            parallel=self.parallel,
         )
-        matrix_a = encoder.encode_dataset(rows_a)
-        matrix_b = encoder.encode_dataset(rows_b)
-        t_embed = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        rng = np.random.default_rng(self.seed)
-        remaining = set(range(n_a + n_b))
-        candidate_set: set[int] = set()
-        pool = list(remaining)
-        rng.shuffle(pool)
-        for seed_idx in pool:
-            if seed_idx not in remaining:
-                continue
-            seed_set = sets[seed_idx]
-            canopy_a: list[int] = []
-            canopy_b: list[int] = []
-            for other in list(remaining):
-                distance = jaccard_distance_sets(seed_set, sets[other])
-                if distance <= self.loose:
-                    if other < n_a:
-                        canopy_a.append(other)
-                    else:
-                        canopy_b.append(other - n_a)
-                    if distance <= self.tight:
-                        remaining.discard(other)
-            remaining.discard(seed_idx)
-            for i in canopy_a:
-                for j in canopy_b:
-                    candidate_set.add(i * n_b + j)
-        t_block = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        if candidate_set:
-            encoded = np.fromiter(candidate_set, dtype=np.int64, count=len(candidate_set))
-            cand_a, cand_b = encoded // n_b, encoded % n_b
-            distances = matrix_a.hamming_rows(cand_a, matrix_b, cand_b)
-            keep = distances <= self.threshold
-            out_a, out_b = cand_a[keep], cand_b[keep]
-            record_distances = distances[keep]
-        else:
-            out_a = out_b = np.empty(0, dtype=np.int64)
-            record_distances = np.empty(0, dtype=np.int64)
-        t_match = time.perf_counter() - t0
-
-        return LinkageResult(
-            rows_a=out_a,
-            rows_b=out_b,
-            n_candidates=len(candidate_set),
-            comparison_space=n_a * n_b,
-            timings={"embed": t_embed, "index": t_block, "match": t_match},
-            record_distances=record_distances,
-        )
+        return pipeline.run(dataset_a, dataset_b)

@@ -11,6 +11,12 @@ single base hash has the closed form
 
 which drives Equation (2) for the number of blocking groups, exactly as
 the Hamming bound does for HB.
+
+:class:`EuclideanLSH` mirrors :class:`repro.hamming.lsh.HammingLSH`'s
+``index`` / ``candidate_pairs`` API, so it slots straight into the shared
+:class:`repro.pipeline.stages.BlockerIndexStage` /
+:class:`~repro.pipeline.stages.MaterializedCandidateStage` pair — which is
+exactly how :class:`repro.baselines.smeb.SMEBLinker` runs it.
 """
 
 from __future__ import annotations

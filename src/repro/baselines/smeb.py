@@ -6,20 +6,32 @@ chosen per attribute from both datasets, as the original algorithm iterates
 concatenated into record vectors, and the Euclidean p-stable LSH blocks
 them.  The attribute-level Euclidean thresholds (paper: 4.5 / 4.5 / 7.7)
 are applied during the matching step only; the blocking threshold is the
-norm of the threshold vector (the largest record-level distance a pair
-inside all attribute thresholds can have).
+largest attribute threshold (see :attr:`SMEBLinker.blocking_threshold`).
+
+On the stage pipeline this is the StringMap embed stage, the shared
+blocker index / materialised candidate stages over :class:`EuclideanLSH`,
+and the shared attribute-threshold classify stage fed by per-attribute
+block Euclidean distances.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from repro.baselines.pstable import EuclideanLSH
-from repro.baselines.stringmap import StringMapEmbedder
-from repro.core.linker import DatasetLike, LinkageResult, _value_rows
+from repro.baselines.stringmap import StringMapEmbedder as StringMapEmbedder
+from repro.baselines.stringmap import StringMapEmbedStage
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.result import LinkageResult
+from repro.pipeline.runner import LinkagePipeline
+from repro.pipeline.stages import (
+    AttributeThresholdClassifyStage,
+    BlockerIndexStage,
+    MaterializedCandidateStage,
+)
+from repro.protocol import DatasetLike
 
 
 class SMEBLinker:
@@ -103,70 +115,44 @@ class SMEBLinker:
         )
         return min(tables, self.max_tables)
 
-    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
-        rows_a = _value_rows(dataset_a)
-        rows_b = _value_rows(dataset_b)
-        n_attrs = len(self.names)
-
-        # Embed: per attribute, fit pivots on both datasets' values, then
-        # transform each column.  This (pivot selection over repeated edit
-        # distance computations) dominates SM-EB's embedding time, exactly
-        # as the paper's Figure 8(b) reports.
-        t0 = time.perf_counter()
-        blocks_a: list[np.ndarray] = []
-        blocks_b: list[np.ndarray] = []
-        seeds = np.random.SeedSequence(self.seed).spawn(n_attrs + 1)
-        for att in range(n_attrs):
-            column_a = [row[att] for row in rows_a]
-            column_b = [row[att] for row in rows_b]
-            embedder = StringMapEmbedder(
-                d=self.d, pivot_sample=self.pivot_sample, seed=seeds[att]
-            )
-            embedder.fit(column_a + column_b)
-            blocks_a.append(embedder.transform(column_a))
-            blocks_b.append(embedder.transform(column_b))
-        points_a = np.hstack(blocks_a)
-        points_b = np.hstack(blocks_b)
-        t_embed = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        lsh = EuclideanLSH(
-            dim=n_attrs * self.d,
+    def _build_lsh(self, seed: np.random.SeedSequence) -> EuclideanLSH:
+        return EuclideanLSH(
+            dim=len(self.names) * self.d,
             k=self.k,
             threshold=self.blocking_threshold,
             delta=self.delta,
             n_tables=self.computed_n_tables,
             w=self.w,
-            seed=seeds[n_attrs],
+            seed=seed,
         )
-        lsh.index(points_a)
-        t_index = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        cand_a, cand_b = lsh.candidate_pairs(points_b)
-        if cand_a.size:
-            accepted = np.ones(cand_a.size, dtype=bool)
-            attr_distances: dict[str, np.ndarray] = {}
-            for att, name in enumerate(self.names):
-                block = slice(att * self.d, (att + 1) * self.d)
-                deltas = points_a[cand_a, block] - points_b[cand_b, block]
-                distances = np.sqrt((deltas * deltas).sum(axis=1))
-                attr_distances[name] = distances
-                threshold = self.attribute_thresholds.get(name)
-                if threshold is not None:
-                    accepted &= distances <= threshold
-            out_a, out_b = cand_a[accepted], cand_b[accepted]
-            attr_distances = {name: d[accepted] for name, d in attr_distances.items()}
-        else:
-            out_a, out_b = cand_a, cand_b
-            attr_distances = {}
-        t_match = time.perf_counter() - t0
+    def _attribute_distances(self, ctx: PipelineContext) -> dict[str, np.ndarray]:
+        """Per-attribute Euclidean distances over the candidate pairs."""
+        assert ctx.cand_a is not None and ctx.cand_b is not None
+        points_a, points_b = ctx.embedded_a, ctx.embedded_b
+        distances: dict[str, np.ndarray] = {}
+        for att, name in enumerate(self.names):
+            block = slice(att * self.d, (att + 1) * self.d)
+            deltas = points_a[ctx.cand_a, block] - points_b[ctx.cand_b, block]
+            distances[name] = np.sqrt((deltas * deltas).sum(axis=1))
+        return distances
 
-        return LinkageResult(
-            rows_a=out_a,
-            rows_b=out_b,
-            n_candidates=int(cand_a.size),
-            comparison_space=len(rows_a) * len(rows_b),
-            timings={"embed": t_embed, "index": t_index, "match": t_match},
-            attribute_distances=attr_distances,
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
+        """embed -> p-stable blocking -> attribute-threshold matching."""
+        seeds = np.random.SeedSequence(self.seed).spawn(len(self.names) + 1)
+        pipeline = LinkagePipeline(
+            [
+                StringMapEmbedStage(
+                    n_attributes=len(self.names),
+                    d=self.d,
+                    pivot_sample=self.pivot_sample,
+                    seeds=seeds[: len(self.names)],
+                ),
+                BlockerIndexStage(lambda ctx: self._build_lsh(seeds[len(self.names)])),
+                MaterializedCandidateStage(),
+                AttributeThresholdClassifyStage(
+                    self.attribute_thresholds, self._attribute_distances
+                ),
+            ]
         )
+        return pipeline.run(dataset_a, dataset_b)

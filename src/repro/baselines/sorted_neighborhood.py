@@ -8,26 +8,75 @@ by a *sorting key* (a concatenation of attribute prefixes), slide a
 fixed-size window over the sorted sequence, and compare the cross-dataset
 pairs formulated inside each window.
 
-Matching uses the same compact-Hamming verification as cBV-HB so the
-comparison isolates the *blocking* strategy.
+On the stage pipeline this is the shared sampled-calibration embed stage,
+the window sweep as the block stage, and the shared
+:class:`~repro.pipeline.stages.ThresholdVerifyStage` — the same
+compact-Hamming verification as cBV-HB, so the comparison isolates the
+*blocking* strategy.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from repro.core.encoder import RecordEncoder
-from repro.core.linker import DatasetLike, LinkageResult, _value_rows
 from repro.core.qgram import QGramScheme
+from repro.perf import ParallelConfig
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.result import LinkageResult
+from repro.pipeline.runner import LinkagePipeline
+from repro.pipeline.stage import BlockStage
+from repro.pipeline.stages import SampledCalibrationEmbedStage, ThresholdVerifyStage
+from repro.protocol import DatasetLike
 from repro.text.alphabet import TEXT_ALPHABET
 
 
 def default_sorting_key(values: Sequence[str], prefix: int = 3) -> str:
     """The customary key: the first characters of each attribute, in order."""
     return "".join(value[:prefix] for value in values)
+
+
+class _WindowBlockStage(BlockStage):
+    """Multi-pass sorted windows over the merged, key-sorted record stream."""
+
+    def __init__(self, linker: "SortedNeighborhoodLinker"):
+        self.linker = linker
+
+    def run(self, ctx: PipelineContext) -> None:
+        linker = self.linker
+        rows_a, rows_b = ctx.rows_a, ctx.rows_b
+        candidate_set: set[int] = set()
+        n_b = len(rows_b)
+        for pass_index in range(linker.passes):
+            # Merge both datasets into one sorted sequence, tagged by side.
+            tagged = [
+                (key, 0, i)
+                for i, key in enumerate(linker._keys_for_pass(rows_a, pass_index))
+            ] + [
+                (key, 1, j)
+                for j, key in enumerate(linker._keys_for_pass(rows_b, pass_index))
+            ]
+            tagged.sort()
+            for pos, (__, side, idx) in enumerate(tagged):
+                if side != 0:
+                    continue
+                stop = min(pos + linker.window, len(tagged))
+                for __, other_side, other_idx in tagged[pos + 1 : stop]:
+                    if other_side == 1:
+                        candidate_set.add(idx * n_b + other_idx)
+                # Look backwards too: B records earlier in the window.
+                start = max(0, pos - linker.window + 1)
+                for __, other_side, other_idx in tagged[start:pos]:
+                    if other_side == 1:
+                        candidate_set.add(idx * n_b + other_idx)
+        if candidate_set:
+            encoded = np.fromiter(candidate_set, dtype=np.int64, count=len(candidate_set))
+            ctx.cand_a, ctx.cand_b = encoded // n_b, encoded % n_b
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            ctx.cand_a, ctx.cand_b = empty, empty
+        ctx.n_candidates = len(candidate_set)
 
 
 class SortedNeighborhoodLinker:
@@ -56,6 +105,7 @@ class SortedNeighborhoodLinker:
         passes: int = 1,
         scheme: QGramScheme | None = None,
         seed: int | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
@@ -67,6 +117,7 @@ class SortedNeighborhoodLinker:
         self.passes = passes
         self.scheme = scheme or QGramScheme(alphabet=TEXT_ALPHABET)
         self.seed = seed
+        self.parallel = parallel
 
     def _keys_for_pass(self, rows: list[tuple[str, ...]], pass_index: int) -> list[str]:
         if pass_index == 0:
@@ -78,62 +129,13 @@ class SortedNeighborhoodLinker:
         ]
 
     def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
-        rows_a = _value_rows(dataset_a)
-        rows_b = _value_rows(dataset_b)
-
-        t0 = time.perf_counter()
-        encoder = RecordEncoder.calibrated(
-            rows_a[: min(len(rows_a), 1000)], scheme=self.scheme, seed=self.seed
+        """embed -> window blocking -> Hamming verify on the shared runner."""
+        pipeline = LinkagePipeline(
+            [
+                SampledCalibrationEmbedStage(scheme=self.scheme, seed=self.seed),
+                _WindowBlockStage(self),
+                ThresholdVerifyStage(self.threshold),
+            ],
+            parallel=self.parallel,
         )
-        matrix_a = encoder.encode_dataset(rows_a)
-        matrix_b = encoder.encode_dataset(rows_b)
-        t_embed = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        candidate_set: set[int] = set()
-        n_b = len(rows_b)
-        for pass_index in range(self.passes):
-            # Merge both datasets into one sorted sequence, tagged by side.
-            tagged = [
-                (key, 0, i)
-                for i, key in enumerate(self._keys_for_pass(rows_a, pass_index))
-            ] + [
-                (key, 1, j)
-                for j, key in enumerate(self._keys_for_pass(rows_b, pass_index))
-            ]
-            tagged.sort()
-            for pos, (__, side, idx) in enumerate(tagged):
-                if side != 0:
-                    continue
-                stop = min(pos + self.window, len(tagged))
-                for __, other_side, other_idx in tagged[pos + 1 : stop]:
-                    if other_side == 1:
-                        candidate_set.add(idx * n_b + other_idx)
-                # Look backwards too: B records earlier in the window.
-                start = max(0, pos - self.window + 1)
-                for __, other_side, other_idx in tagged[start:pos]:
-                    if other_side == 1:
-                        candidate_set.add(idx * n_b + other_idx)
-        t_block = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        if candidate_set:
-            encoded = np.fromiter(candidate_set, dtype=np.int64, count=len(candidate_set))
-            cand_a, cand_b = encoded // n_b, encoded % n_b
-            distances = matrix_a.hamming_rows(cand_a, matrix_b, cand_b)
-            keep = distances <= self.threshold
-            out_a, out_b = cand_a[keep], cand_b[keep]
-            record_distances = distances[keep]
-        else:
-            out_a = out_b = np.empty(0, dtype=np.int64)
-            record_distances = np.empty(0, dtype=np.int64)
-        t_match = time.perf_counter() - t0
-
-        return LinkageResult(
-            rows_a=out_a,
-            rows_b=out_b,
-            n_candidates=len(candidate_set),
-            comparison_space=len(rows_a) * len(rows_b),
-            timings={"embed": t_embed, "index": t_block, "match": t_match},
-            record_distances=record_distances,
-        )
+        return pipeline.run(dataset_a, dataset_b)

@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from collections.abc import Sequence
 
 from repro.analysis.__main__ import build_parser as _build_lint_parser
 from repro.analysis.__main__ import run_lint as _cmd_lint
 from repro.core.linker import CompactHammingLinker
+from repro.pipeline.registry import available_linkers
 from repro.data.generators import DBLPGenerator, NCVRGenerator, average_qgram_counts
 from repro.data.io import read_dataset, write_dataset, write_matches
 from repro.data.perturb import scheme_ph, scheme_pl
@@ -38,10 +38,20 @@ def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
 
 
+def _linker_epilog() -> str:
+    """The linkage-method catalogue, straight from the pipeline registry."""
+    lines = ["linkage methods (repro.pipeline.registry):"]
+    for spec in available_linkers():
+        lines.append(f"  {spec.name:<20} {spec.summary}")
+    return "\n".join(lines)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Record linkage in a compact Hamming space (EDBT 2016 reproduction)",
+        epilog=_linker_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -222,13 +232,21 @@ def _cmd_link(args: argparse.Namespace) -> int:
             threshold=args.threshold, k=k, delta=args.delta, seed=args.seed
         )
 
-    start = time.perf_counter()
     result = linker.link(dataset_a, dataset_b)
-    elapsed = time.perf_counter() - start
     n_written = write_matches(result.matches, dataset_a, dataset_b, args.output)
+    summary = result.summary()
     emit(
-        f"linked {len(dataset_a)} x {len(dataset_b)} records in {elapsed:.2f} s; "
-        f"{n_written} matches -> {args.output}"
+        f"linked {len(dataset_a)} x {len(dataset_b)} records in "
+        f"{summary['total_time_s']:.2f} s; {n_written} matches -> {args.output}"
+    )
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                [name, value if isinstance(value, int) else f"{value:.4f}"]
+                for name, value in summary.items()
+            ],
+        )
     )
     if args.truth:
         truth = _read_truth(args.truth, dataset_a, dataset_b)

@@ -10,17 +10,22 @@ The pipeline is Charlie's job from Section 3:
 4. **Match** — Algorithm 2: de-duplicated candidate pairs, classified with
    a Hamming threshold or the rule AST over per-attribute distances.
 
-:class:`CompactHammingLinker` owns steps 1-4 for dataset-vs-dataset
-linkage; :class:`StreamingLinker` exposes an insert/query API for the
-near-real-time setting motivating the paper's introduction.
+Both linkers here are compositions of :mod:`repro.pipeline` stages run by
+:class:`repro.pipeline.runner.LinkagePipeline` — the same engine every
+baseline uses.  :class:`CompactHammingLinker` owns steps 1-4 for
+dataset-vs-dataset linkage; :class:`StreamingLinker` exposes an
+insert/query API for the near-real-time setting motivating the paper's
+introduction (plus a batch :meth:`StreamingLinker.link` on the shared
+runner).
+
+``LinkageResult`` and the dataset protocol types are re-exported here for
+back-compat; they live in :mod:`repro.pipeline.result` and
+:mod:`repro.protocol` now.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
-from typing import Protocol, Union
 
 import numpy as np
 
@@ -32,81 +37,33 @@ from repro.core.config import (
 )
 from repro.core.encoder import RecordEncoder
 from repro.core.qgram import QGramScheme
-from repro.hamming.bitmatrix import BitMatrix
 from repro.hamming.bitvector import BitVector
 from repro.hamming.distance import hamming_packed
 from repro.hamming.lsh import HammingLSH
-from repro.perf import ParallelConfig, parallel_map
+from repro.perf import ParallelConfig
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.result import LinkageResult as LinkageResult
+from repro.pipeline.runner import LinkagePipeline
+from repro.pipeline.stage import BlockStage, CandidateStage, Stage
+from repro.pipeline.stages import (
+    _VERIFY_STATE as _VERIFY_STATE,
+    _init_verify_worker as _init_verify_worker,
+    _verify_chunk as _verify_chunk,
+    BlockerIndexStage,
+    ChunkedCandidateStage,
+    CVectorEmbedStage,
+    EncoderCalibrateStage,
+    MaterializedCandidateStage,
+    RuleClassifyStage,
+    ThresholdVerifyStage,
+)
+from repro.protocol import (
+    DatasetLike as DatasetLike,
+    SupportsValueRows as SupportsValueRows,
+    value_rows as _value_rows,
+)
 from repro.rules.ast import Rule
 from repro.rules.blocking import RuleAwareBlocker
-
-
-@dataclass
-class LinkageResult:
-    """Output of one linkage run, with enough detail for every metric."""
-
-    rows_a: np.ndarray
-    rows_b: np.ndarray
-    n_candidates: int
-    comparison_space: int
-    timings: dict[str, float] = field(default_factory=dict)
-    attribute_distances: dict[str, np.ndarray] = field(default_factory=dict)
-    record_distances: np.ndarray | None = None
-    #: Hot-path diagnostics alongside the phase timings: interning hit
-    #: rate of the embedding stage, candidate pairs generated / unique /
-    #: duplicate / verified, chunk count and peak chunk size.
-    counters: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def matches(self) -> set[tuple[int, int]]:
-        """The classified matching pairs as (row in A, row in B) tuples."""
-        return set(zip(self.rows_a.tolist(), self.rows_b.tolist()))
-
-    @property
-    def n_matches(self) -> int:
-        return int(self.rows_a.size)
-
-    @property
-    def total_time(self) -> float:
-        return sum(self.timings.values())
-
-
-class SupportsValueRows(Protocol):
-    """Structural type for dataset inputs: anything with ``value_rows()``."""
-
-    def value_rows(self) -> list[tuple[str, ...]]: ...
-
-
-DatasetLike = Union[SupportsValueRows, Sequence[Sequence[str]]]
-
-
-def _value_rows(dataset: DatasetLike) -> list[tuple[str, ...]]:
-    """Accept a Dataset or a plain sequence of value rows."""
-    if hasattr(dataset, "value_rows"):
-        return dataset.value_rows()
-    return [tuple(row) for row in dataset]
-
-
-#: Per-worker verification state: the packed words of both matrices are
-#: shipped once per worker (executor initializer), not once per chunk.
-_VERIFY_STATE: dict[str, np.ndarray] = {}
-
-
-def _init_verify_worker(words_a: np.ndarray, words_b: np.ndarray) -> None:
-    """Executor initializer: pin both packed matrices in the worker."""
-    _VERIFY_STATE["a"] = words_a
-    _VERIFY_STATE["b"] = words_b
-
-
-def _verify_chunk(
-    task: tuple[np.ndarray, np.ndarray, int],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Worker: Hamming-verify one candidate chunk against the threshold."""
-    rows_a, rows_b, threshold = task
-    xor = _VERIFY_STATE["a"][rows_a] ^ _VERIFY_STATE["b"][rows_b]
-    dist = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
-    keep = dist <= threshold
-    return rows_a[keep], rows_b[keep], dist[keep]
 
 
 class CompactHammingLinker:
@@ -271,6 +228,25 @@ class CompactHammingLinker:
             max_chunk_pairs=self.max_chunk_pairs,
         )
 
+    def _make_blocker(self, ctx: PipelineContext) -> "RuleAwareBlocker | HammingLSH":
+        """Block-stage factory: build the blocker from the run's encoder."""
+        return self._build_blocker(ctx.encoder)
+
+    def _stages(self) -> list[Stage]:
+        """The cBV-HB stage composition (record-level or rule-aware)."""
+        stages: list[Stage] = [
+            EncoderCalibrateStage(self),
+            CVectorEmbedStage(),
+            BlockerIndexStage(self._make_blocker),
+        ]
+        if self.rule is not None:
+            stages.append(MaterializedCandidateStage())
+            stages.append(RuleClassifyStage(self.rule))
+        else:
+            stages.append(ChunkedCandidateStage())
+            stages.append(ThresholdVerifyStage(self.threshold or 0, sort_pairs=True))
+        return stages
+
     def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
         """Run the full calibrate/embed/block/match pipeline.
 
@@ -280,106 +256,8 @@ class CompactHammingLinker:
         result order are deterministic, so the output is identical for
         every ``n_jobs`` / ``max_chunk_pairs`` setting.
         """
-        rows_a = _value_rows(dataset_a)
-        rows_b = _value_rows(dataset_b)
-        counters: dict[str, float] = {}
-
-        t0 = time.perf_counter()
-        if self.encoder is None:
-            self.calibrate(dataset_a, dataset_b)
-        encoder = self.encoder
-        assert encoder is not None
-        t_calibrate = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        stats_a: dict[str, float] = {}
-        stats_b: dict[str, float] = {}
-        matrix_a = encoder.encode_dataset(rows_a, parallel=self.parallel, stats=stats_a)
-        matrix_b = encoder.encode_dataset(rows_b, parallel=self.parallel, stats=stats_b)
-        values = stats_a.get("intern_values", 0.0) + stats_b.get("intern_values", 0.0)
-        unique = stats_a.get("intern_unique", 0.0) + stats_b.get("intern_unique", 0.0)
-        counters["intern_values"] = values
-        counters["intern_unique"] = unique
-        counters["intern_hit_rate"] = 1.0 - unique / values if values else 0.0
-        t_embed = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        blocker = self._build_blocker(encoder)
-        blocker.index(matrix_a)
-        t_index = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        if isinstance(blocker, RuleAwareBlocker):
-            cand_a, cand_b = blocker.candidate_pairs(matrix_b)
-            n_candidates = int(cand_a.size)
-            distances = (
-                encoder.attribute_distances(matrix_a, cand_a, matrix_b, cand_b)
-                if cand_a.size
-                else {}
-            )
-            accepted = (
-                np.asarray(self.rule.evaluate(distances))
-                if cand_a.size
-                else np.empty(0, dtype=bool)
-            )
-            out_a, out_b = cand_a[accepted], cand_b[accepted]
-            attr_distances = {name: d[accepted] for name, d in distances.items()}
-            record_distances = None
-        else:
-            out_a, out_b, record_distances, n_candidates = self._match_record_level(
-                blocker, matrix_a, matrix_b, counters
-            )
-            attr_distances = {}
-        t_match = time.perf_counter() - t0
-
-        return LinkageResult(
-            rows_a=out_a,
-            rows_b=out_b,
-            n_candidates=n_candidates,
-            comparison_space=len(rows_a) * len(rows_b),
-            timings={
-                "calibrate": t_calibrate,
-                "embed": t_embed,
-                "index": t_index,
-                "match": t_match,
-            },
-            attribute_distances=attr_distances,
-            record_distances=record_distances,
-            counters=counters,
-        )
-
-    def _match_record_level(
-        self,
-        blocker: HammingLSH,
-        matrix_a: "BitMatrix",
-        matrix_b: "BitMatrix",
-        counters: dict[str, float],
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """Chunked, optionally parallel verification of the candidate stream.
-
-        Returns ``(rows_a, rows_b, distances, n_candidates)`` sorted by
-        encoded pair id (the historical :meth:`HammingLSH.match` order).
-        """
-        threshold = self.threshold or 0
-        chunks = list(blocker.candidate_chunks(matrix_b, counters=counters))
-        n_candidates = sum(int(chunk_a.size) for chunk_a, _ in chunks)
-        counters["pairs_verified"] = float(n_candidates)
-        empty = np.empty(0, dtype=np.int64)
-        if not chunks:
-            return empty, empty, empty, 0
-        tasks = [(chunk_a, chunk_b, threshold) for chunk_a, chunk_b in chunks]
-        parts = parallel_map(
-            _verify_chunk,
-            tasks,
-            self.parallel,
-            initializer=_init_verify_worker,
-            initargs=(matrix_a.words, matrix_b.words),
-        )
-        out_a = np.concatenate([p[0] for p in parts])
-        out_b = np.concatenate([p[1] for p in parts])
-        dist = np.concatenate([p[2] for p in parts])
-        order = np.argsort(out_a * matrix_b.n_rows + out_b, kind="stable")
-        return out_a[order], out_b[order], dist[order], n_candidates
+        pipeline = LinkagePipeline(self._stages(), parallel=self.parallel)
+        return pipeline.run(dataset_a, dataset_b)
 
     def link_multiple(self, datasets: Sequence) -> dict[tuple[int, int], LinkageResult]:
         """Link every dataset pair ``(i, j), i < j`` with one shared encoder.
@@ -399,12 +277,55 @@ class CompactHammingLinker:
         return results
 
 
+class _StreamingIndexStage(BlockStage):
+    """Insert dataset A's records one at a time (incremental semantics)."""
+
+    def __init__(self, linker: "StreamingLinker"):
+        self.linker = linker
+
+    def run(self, ctx: PipelineContext) -> None:
+        for values in ctx.rows_a:
+            self.linker.insert(values)
+        ctx.blocker = self.linker._lsh
+        ctx.encoder = self.linker.encoder
+        ctx.embedded_a = self.linker._words[: len(self.linker)]
+
+
+class _StreamingQueryStage(CandidateStage):
+    """Query each B record against the streaming index, one at a time."""
+
+    def __init__(self, linker: "StreamingLinker"):
+        self.linker = linker
+
+    def run(self, ctx: PipelineContext) -> None:
+        linker = self.linker
+        queries = np.empty((len(ctx.rows_b), linker._n_words), dtype=np.uint64)
+        parts_a: list[np.ndarray] = []
+        parts_b: list[np.ndarray] = []
+        total = 0
+        for j, values in enumerate(ctx.rows_b):
+            vector = linker.encoder.encode(values)
+            queries[j] = vector.to_packed()
+            ids = linker._lsh.query(vector)
+            if ids:
+                total += len(ids)
+                parts_a.append(np.asarray(ids, dtype=np.int64))
+                parts_b.append(np.full(len(ids), j, dtype=np.int64))
+        empty = np.empty(0, dtype=np.int64)
+        ctx.embedded_b = queries
+        ctx.cand_a = np.concatenate(parts_a) if parts_a else empty
+        ctx.cand_b = np.concatenate(parts_b) if parts_b else empty
+        ctx.n_candidates = total
+
+
 class StreamingLinker:
     """Incremental insert/query over the HB index (real-time setting, Section 1).
 
     Records of the reference dataset are inserted one at a time; each query
     record is blocked and matched immediately — the health-surveillance
-    scenario where streams are integrated "in real-time".
+    scenario where streams are integrated "in real-time".  :meth:`link`
+    runs the same insert-then-query flow as one batch on the shared
+    :class:`~repro.pipeline.runner.LinkagePipeline`.
     """
 
     def __init__(
@@ -414,9 +335,11 @@ class StreamingLinker:
         k: int = DEFAULT_K,
         delta: float = DEFAULT_DELTA,
         seed: int | None = None,
+        parallel: ParallelConfig | None = None,
     ):
         self.encoder = encoder
         self.threshold = threshold
+        self.parallel = parallel or ParallelConfig()
         self._lsh = HammingLSH(
             n_bits=encoder.total_bits, k=k, threshold=threshold, delta=delta, seed=seed
         )
@@ -473,3 +396,22 @@ class StreamingLinker:
         """Bulk insert of a dataset (convenience for warm-up)."""
         for values in _value_rows(dataset):
             self.insert(values)
+
+    def link(self, dataset_a: DatasetLike, dataset_b: DatasetLike) -> LinkageResult:
+        """Batch insert-then-query on the shared pipeline runner.
+
+        Inserts every A record into the streaming store (the index keeps
+        them afterwards — call on a fresh linker for standalone runs; the
+        result's A-row indices are the store's internal record ids), then
+        queries each B record and Hamming-verifies the candidates.
+        Timings: ``"index"`` (inserts) and ``"match"`` (queries + verify).
+        """
+        pipeline = LinkagePipeline(
+            [
+                _StreamingIndexStage(self),
+                _StreamingQueryStage(self),
+                ThresholdVerifyStage(self.threshold),
+            ],
+            parallel=self.parallel,
+        )
+        return pipeline.run(dataset_a, dataset_b)

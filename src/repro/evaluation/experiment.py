@@ -27,6 +27,7 @@ class TrialResult:
     elapsed: float
     timings: dict[str, float]
     matches: set[tuple[int, int]]
+    counters: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -72,6 +73,11 @@ class ExperimentResult:
     def mean_stage_time(self, stage: str) -> float:
         times = [trial.timings.get(stage, 0.0) for trial in self.trials]
         return statistics.fmean(times) if times else 0.0
+
+    def mean_counter(self, counter: str) -> float:
+        """Mean of a pipeline counter ('pairs_generated', 'pairs_verified', ...)."""
+        values = [trial.counters.get(counter, 0.0) for trial in self.trials]
+        return statistics.fmean(values) if values else 0.0
 
     def summary(self) -> dict[str, float]:
         return {
@@ -123,6 +129,7 @@ def run_experiment(
                 elapsed=elapsed,
                 timings=dict(getattr(linkage, "timings", {})),
                 matches=linkage.matches,
+                counters=dict(getattr(linkage, "counters", {})),
             )
         )
     return result

@@ -27,6 +27,12 @@ raw products only up to a configurable ``max_chunk_pairs`` budget, then
 flushes a chunk — de-duplicated against everything already emitted via a
 vectorised sorted merge.  Peak transient memory is ``O(max_chunk_pairs +
 n_unique_candidates)`` rather than ``O(sum of raw cross-products)``.
+
+Within the stage pipeline (``repro.pipeline``), :meth:`HammingLSH.index`
+backs the shared ``BlockerIndexStage`` and :meth:`candidate_chunks` /
+:meth:`candidate_pairs` feed the ``ChunkedCandidateStage`` /
+``MaterializedCandidateStage`` pair — the same blocker serves cBV-HB,
+BfH and the streaming linker.
 """
 
 from __future__ import annotations

@@ -4,8 +4,10 @@ The paper's headline claim is runtime: compact embeddings plus Hamming
 LSH must stay fast at the 1M-record scale of its Figures 8(b) and 12(b).
 This package provides the process/thread fan-out used by
 :class:`repro.core.encoder.RecordEncoder` (embedding sharded over record
-ranges) and :class:`repro.core.linker.CompactHammingLinker` (candidate
-verification sharded over pair chunks).
+ranges) and the stage pipeline's ``ThresholdVerifyStage`` (candidate
+verification sharded over pair chunks).  The :class:`ParallelConfig` is
+routed once at the :class:`repro.pipeline.LinkagePipeline` runner and
+reaches every stage through the pipeline context.
 
 Like :mod:`repro.analysis` and :mod:`repro.evaluation`, this package sits
 beside the numeric stack: it imports nothing from the layers it serves,

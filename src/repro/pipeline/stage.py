@@ -1,0 +1,87 @@
+"""The ``Stage`` protocol and the six stage kinds of the linkage pipeline.
+
+The paper's method is explicitly staged (Section 5, Algorithm 2):
+calibrate -> embed -> block -> generate candidates -> verify/classify.
+Every linker in the repo — cBV-HB, the streaming variant and all
+baselines — is a composition of concrete stages of these kinds, run by
+:class:`repro.pipeline.runner.LinkagePipeline`.
+
+Each kind carries the *timing key* its wall-clock is accumulated under,
+reproducing the historical ``LinkageResult.timings`` layout: calibrate ->
+``"calibrate"``, embed -> ``"embed"``, block -> ``"index"``, and the
+candidate/verify/classify stages all -> ``"match"``.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Protocol, runtime_checkable
+
+from repro.pipeline.context import PipelineContext
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """What the runner needs from a stage: a timing key and ``run``."""
+
+    timing: str
+
+    @property
+    def name(self) -> str: ...
+
+    def run(self, ctx: PipelineContext) -> None: ...
+
+
+class PipelineStage:
+    """Base class for concrete stages (name + default timing key)."""
+
+    kind: ClassVar[str] = "stage"
+    timing: str = "match"
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, ctx: PipelineContext) -> None:
+        raise NotImplementedError
+
+
+class CalibrateStage(PipelineStage):
+    """Fits encoders / sizes embeddings from data samples (Theorem 1)."""
+
+    kind = "calibrate"
+    timing = "calibrate"
+
+
+class EmbedStage(PipelineStage):
+    """Embeds both datasets into the method's comparison space."""
+
+    kind = "embed"
+    timing = "embed"
+
+
+class BlockStage(PipelineStage):
+    """Builds the blocking structure over the embedded dataset A."""
+
+    kind = "block"
+    timing = "index"
+
+
+class CandidateStage(PipelineStage):
+    """Generates (de-duplicated) candidate pairs against dataset B."""
+
+    kind = "candidates"
+    timing = "match"
+
+
+class VerifyStage(PipelineStage):
+    """Filters candidates by a record-level distance threshold."""
+
+    kind = "verify"
+    timing = "match"
+
+
+class ClassifyStage(PipelineStage):
+    """Classifies candidates by per-attribute distances or a rule AST."""
+
+    kind = "classify"
+    timing = "match"

@@ -1,0 +1,292 @@
+"""Shared concrete stages used by more than one linker.
+
+This module (like the whole ``repro.pipeline`` package) keeps its
+module-level imports to numpy, the stdlib and the leaf ``repro.perf``
+package, so ``repro.core`` and ``repro.baselines`` may import it freely;
+the one stage that needs :class:`repro.core.encoder.RecordEncoder`
+imports it at run time.
+
+The verification workers (:func:`_init_verify_worker` /
+:func:`_verify_chunk`) moved here from ``repro.core.linker`` — they stay
+module-level so the process backend can pickle them by qualified name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.perf import parallel_map
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.stage import (
+    BlockStage,
+    CalibrateStage,
+    CandidateStage,
+    ClassifyStage,
+    EmbedStage,
+    VerifyStage,
+)
+
+#: Per-worker verification state: the packed words of both matrices are
+#: shipped once per worker (executor initializer), not once per chunk.
+_VERIFY_STATE: dict[str, np.ndarray] = {}
+
+
+def _init_verify_worker(words_a: np.ndarray, words_b: np.ndarray) -> None:
+    """Executor initializer: pin both packed matrices in the worker."""
+    _VERIFY_STATE["a"] = words_a
+    _VERIFY_STATE["b"] = words_b
+
+
+def _verify_chunk(
+    task: tuple[np.ndarray, np.ndarray, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Worker: Hamming-verify one candidate chunk against the threshold."""
+    rows_a, rows_b, threshold = task
+    xor = _VERIFY_STATE["a"][rows_a] ^ _VERIFY_STATE["b"][rows_b]
+    dist = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
+    keep = dist <= threshold
+    return rows_a[keep], rows_b[keep], dist[keep]
+
+
+def _packed_words(embedded: Any) -> np.ndarray:
+    """Packed uint64 words of an embedding (BitMatrix or raw array)."""
+    words = getattr(embedded, "words", None)
+    if words is not None:
+        return np.asarray(words)
+    return np.asarray(embedded)
+
+
+_EMPTY_ROWS = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+
+def _candidate_arrays(ctx: PipelineContext) -> tuple[np.ndarray, np.ndarray]:
+    """The materialised candidate arrays (empty when a stage set none)."""
+    if ctx.cand_a is None or ctx.cand_b is None:
+        return _EMPTY_ROWS
+    return ctx.cand_a, ctx.cand_b
+
+
+class SupportsCalibration(Protocol):
+    """A linker owning a lazily calibrated encoder (cBV-HB style)."""
+
+    encoder: Any
+
+    def calibrate(self, *datasets: Any) -> Any: ...
+
+
+class EncoderCalibrateStage(CalibrateStage):
+    """Run the owner's ``calibrate()`` unless an encoder is already set.
+
+    Mirrors ``CompactHammingLinker``'s lazy calibration: a pre-calibrated
+    (or externally supplied) encoder short-circuits the stage, so shared
+    calibration across ``link_multiple`` keeps working.
+    """
+
+    def __init__(self, owner: SupportsCalibration):
+        self.owner = owner
+
+    def run(self, ctx: PipelineContext) -> None:
+        if self.owner.encoder is None:
+            self.owner.calibrate(ctx.dataset_a, ctx.dataset_b)
+        ctx.encoder = self.owner.encoder
+
+
+class CVectorEmbedStage(EmbedStage):
+    """Interned c-vector embedding of both datasets, with intern counters.
+
+    Uses the hot-path engine of ``RecordEncoder.encode_dataset``: unique
+    values are encoded once and gathered, shards fan out over
+    ``ctx.parallel``, and the intern statistics land in the run counters
+    (``intern_values`` / ``intern_unique`` / ``intern_hit_rate``).
+    """
+
+    def run(self, ctx: PipelineContext) -> None:
+        stats_a: dict[str, float] = {}
+        stats_b: dict[str, float] = {}
+        ctx.embedded_a = ctx.encoder.encode_dataset(
+            ctx.rows_a, parallel=ctx.parallel, stats=stats_a
+        )
+        ctx.embedded_b = ctx.encoder.encode_dataset(
+            ctx.rows_b, parallel=ctx.parallel, stats=stats_b
+        )
+        values = stats_a.get("intern_values", 0.0) + stats_b.get("intern_values", 0.0)
+        unique = stats_a.get("intern_unique", 0.0) + stats_b.get("intern_unique", 0.0)
+        ctx.counters["intern_values"] = values
+        ctx.counters["intern_unique"] = unique
+        ctx.counters["intern_hit_rate"] = 1.0 - unique / values if values else 0.0
+
+
+class SampledCalibrationEmbedStage(EmbedStage):
+    """Calibrate a ``RecordEncoder`` on a sample of A and embed both sides.
+
+    The classic-baseline embedding (canopy, sorted neighborhood, the
+    exhaustive reference): fit c-vector encoders on up to ``sample_size``
+    rows of dataset A, then encode both datasets.
+    """
+
+    def __init__(
+        self, scheme: Any = None, seed: int | None = None, sample_size: int = 1000
+    ):
+        self.scheme = scheme
+        self.seed = seed
+        self.sample_size = sample_size
+
+    def run(self, ctx: PipelineContext) -> None:
+        # Runtime import: repro.pipeline stays import-leaf so repro.core
+        # can depend on it (see the module docstring).
+        from repro.core.encoder import RecordEncoder
+
+        sample = ctx.rows_a[: min(len(ctx.rows_a), self.sample_size)]
+        encoder = RecordEncoder.calibrated(sample, scheme=self.scheme, seed=self.seed)
+        ctx.encoder = encoder
+        ctx.embedded_a = encoder.encode_dataset(ctx.rows_a)
+        ctx.embedded_b = encoder.encode_dataset(ctx.rows_b)
+
+
+class BlockerIndexStage(BlockStage):
+    """Build a blocking structure via ``factory(ctx)`` and index dataset A.
+
+    Works for any blocker exposing ``index(embedded_a)`` — ``HammingLSH``,
+    ``RuleAwareBlocker``, ``EuclideanLSH``; swapping the blocking backend
+    of a pipeline is swapping this one stage.
+    """
+
+    def __init__(self, factory: Callable[[PipelineContext], Any]):
+        self.factory = factory
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.blocker = self.factory(ctx)
+        ctx.blocker.index(ctx.embedded_a)
+
+
+class ChunkedCandidateStage(CandidateStage):
+    """Stream memory-bounded candidate chunks from the blocker.
+
+    Materialises the blocker's ``candidate_chunks`` generator (each chunk
+    respects the blocker's ``max_chunk_pairs`` budget), which also flushes
+    the generation counters (pairs generated / unique / duplicates, chunk
+    stats) into the run counters.
+    """
+
+    def run(self, ctx: PipelineContext) -> None:
+        chunks = list(ctx.blocker.candidate_chunks(ctx.embedded_b, counters=ctx.counters))
+        ctx.candidate_chunks = chunks
+        ctx.n_candidates = sum(int(chunk_a.size) for chunk_a, __ in chunks)
+
+
+class MaterializedCandidateStage(CandidateStage):
+    """De-duplicated candidate pair arrays via ``blocker.candidate_pairs``."""
+
+    def run(self, ctx: PipelineContext) -> None:
+        cand_a, cand_b = ctx.blocker.candidate_pairs(ctx.embedded_b)
+        ctx.cand_a, ctx.cand_b = cand_a, cand_b
+        ctx.n_candidates = int(cand_a.size)
+
+
+class ThresholdVerifyStage(VerifyStage):
+    """Hamming-verify candidates against a record-level threshold.
+
+    Consumes ``ctx.candidate_chunks`` when a chunked candidate stage ran,
+    otherwise shards the materialised ``cand_a`` / ``cand_b`` arrays by
+    ``ctx.parallel.shard_ranges``.  Verification fans out through
+    ``repro.perf.parallel_map`` (the packed matrices ship once per worker
+    via the executor initializer); chunk partitioning and result order are
+    deterministic, so output is identical for every ``n_jobs`` setting.
+
+    ``sort_pairs=True`` restores the historical cBV-HB order (sorted by
+    encoded pair id ``a * n_B + b``); the classic baselines keep their
+    natural candidate order.
+    """
+
+    def __init__(self, threshold: int, sort_pairs: bool = False):
+        self.threshold = threshold
+        self.sort_pairs = sort_pairs
+
+    def run(self, ctx: PipelineContext) -> None:
+        chunks = ctx.candidate_chunks
+        if chunks is None:
+            cand_a, cand_b = _candidate_arrays(ctx)
+            chunks = [
+                (cand_a[lo:hi], cand_b[lo:hi])
+                for lo, hi in ctx.parallel.shard_ranges(int(cand_a.size))
+            ]
+        n_pairs = sum(int(chunk_a.size) for chunk_a, __ in chunks)
+        ctx.counters["pairs_verified"] = float(n_pairs)
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            ctx.out_a, ctx.out_b, ctx.record_distances = empty, empty, empty
+            return
+        tasks = [(chunk_a, chunk_b, self.threshold) for chunk_a, chunk_b in chunks]
+        parts = parallel_map(
+            _verify_chunk,
+            tasks,
+            ctx.parallel,
+            initializer=_init_verify_worker,
+            initargs=(_packed_words(ctx.embedded_a), _packed_words(ctx.embedded_b)),
+        )
+        out_a = np.concatenate([p[0] for p in parts])
+        out_b = np.concatenate([p[1] for p in parts])
+        dist = np.concatenate([p[2] for p in parts])
+        if self.sort_pairs:
+            order = np.argsort(out_a * len(ctx.rows_b) + out_b, kind="stable")
+            out_a, out_b, dist = out_a[order], out_b[order], dist[order]
+        ctx.out_a, ctx.out_b, ctx.record_distances = out_a, out_b, dist
+
+
+class RuleClassifyStage(ClassifyStage):
+    """Evaluate a rule AST over per-attribute distances of the candidates.
+
+    The cBV-HB rule-aware matching step (Section 5.4): masked per-attribute
+    Hamming distances from the encoder, then the rule's boolean verdict.
+    """
+
+    def __init__(self, rule: Any):
+        self.rule = rule
+
+    def run(self, ctx: PipelineContext) -> None:
+        cand_a, cand_b = _candidate_arrays(ctx)
+        distances: dict[str, np.ndarray] = (
+            ctx.encoder.attribute_distances(ctx.embedded_a, cand_a, ctx.embedded_b, cand_b)
+            if cand_a.size
+            else {}
+        )
+        accepted = (
+            np.asarray(self.rule.evaluate(distances))
+            if cand_a.size
+            else np.empty(0, dtype=bool)
+        )
+        ctx.out_a, ctx.out_b = cand_a[accepted], cand_b[accepted]
+        ctx.attribute_distances = {name: d[accepted] for name, d in distances.items()}
+
+
+class AttributeThresholdClassifyStage(ClassifyStage):
+    """Accept candidates whose per-attribute distances all clear thresholds.
+
+    The BfH / SM-EB matching step: ``distances(ctx)`` computes every
+    attribute's distance array over the candidates; attributes present in
+    ``thresholds`` constrain acceptance, the rest are reported only.
+    """
+
+    def __init__(
+        self,
+        thresholds: Mapping[str, float],
+        distances: Callable[[PipelineContext], dict[str, np.ndarray]],
+    ):
+        self.thresholds = dict(thresholds)
+        self.distances = distances
+
+    def run(self, ctx: PipelineContext) -> None:
+        cand_a, cand_b = _candidate_arrays(ctx)
+        if not cand_a.size:
+            ctx.out_a, ctx.out_b = cand_a, cand_b
+            ctx.attribute_distances = {}
+            return
+        distances = self.distances(ctx)
+        accepted = np.ones(cand_a.size, dtype=bool)
+        for attribute, threshold in self.thresholds.items():
+            accepted &= distances[attribute] <= threshold
+        ctx.out_a, ctx.out_b = cand_a[accepted], cand_b[accepted]
+        ctx.attribute_distances = {name: d[accepted] for name, d in distances.items()}

@@ -7,7 +7,12 @@ variant natural (the paper's §7 points at [17, 19]): custodians *encode
 locally* under a shared :class:`EncodingAgreement` and submit only record
 identifiers plus bit vectors; Charlie never sees a raw string.
 
-This module is an architectural wrapper over :mod:`repro.core`:
+This module also hosts the shared *dataset* protocol — the structural
+types every linker's ``link()`` accepts (:class:`SupportsValueRows`,
+``DatasetLike``, :func:`value_rows`).  They used to live in
+``repro.core.linker``, which still re-exports them for back-compat.
+
+Beyond that, the module is an architectural wrapper over :mod:`repro.core`:
 
 * :class:`EncodingAgreement` — the public parameters both custodians need
   (seed, q-gram scheme, Theorem 1 inputs, per-attribute average q-gram
@@ -28,20 +33,51 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import Protocol, Union
 
 import numpy as np
 
-from repro.core.config import DEFAULT_DELTA, DEFAULT_K
-from repro.core.cvector import CVectorEncoder, UniversalHash
-from repro.core.encoder import RecordEncoder
-from repro.core.qgram import QGramScheme
-from repro.core.sizing import DEFAULT_CONFIDENCE_R, DEFAULT_RHO, optimal_cvector_size
-from repro.data.schema import Dataset
-from repro.hamming.bitmatrix import BitMatrix
-from repro.hamming.lsh import HammingLSH
-from repro.rules.ast import Rule
-from repro.rules.blocking import RuleAwareBlocker
-from repro.text.alphabet import TEXT_ALPHABET
+
+# -- dataset structural types ---------------------------------------------------
+#
+# Defined *before* the repro.core imports below: repro.core.linker imports
+# these names from this module, so they must exist even when this module is
+# re-entered mid-initialisation through the repro.core package.
+
+
+class SupportsValueRows(Protocol):
+    """Structural type for dataset inputs: anything with ``value_rows()``."""
+
+    def value_rows(self) -> list[tuple[str, ...]]: ...
+
+
+#: What every linker accepts: a :class:`repro.data.schema.Dataset`-like
+#: object or a plain sequence of attribute-value rows.
+DatasetLike = Union[SupportsValueRows, Sequence[Sequence[str]]]
+
+
+def value_rows(dataset: DatasetLike) -> list[tuple[str, ...]]:
+    """Normalise a Dataset or a plain sequence into value-row tuples."""
+    if hasattr(dataset, "value_rows"):
+        return dataset.value_rows()
+    return [tuple(row) for row in dataset]
+
+
+from repro.core.config import DEFAULT_DELTA, DEFAULT_K  # noqa: E402
+from repro.core.cvector import CVectorEncoder, UniversalHash  # noqa: E402
+from repro.core.encoder import RecordEncoder  # noqa: E402
+from repro.core.qgram import QGramScheme  # noqa: E402
+from repro.core.sizing import (  # noqa: E402
+    DEFAULT_CONFIDENCE_R,
+    DEFAULT_RHO,
+    optimal_cvector_size,
+)
+from repro.data.schema import Dataset  # noqa: E402
+from repro.hamming.bitmatrix import BitMatrix  # noqa: E402
+from repro.hamming.lsh import HammingLSH  # noqa: E402
+from repro.rules.ast import Rule  # noqa: E402
+from repro.rules.blocking import RuleAwareBlocker  # noqa: E402
+from repro.text.alphabet import TEXT_ALPHABET  # noqa: E402
 
 
 @dataclass(frozen=True)

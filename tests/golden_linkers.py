@@ -1,0 +1,166 @@
+"""Golden-parity harness: fixed-seed runs of every linker in the repo.
+
+One place defines the linkage problem and one canonical configuration per
+linker; ``tests/test_golden_parity.py`` asserts that each run reproduces
+the committed ``tests/data/golden_parity.json`` byte for byte (matches and
+candidate counts).  The JSON was captured from the pre-pipeline
+implementations, so these tests prove the stage-pipeline refactor changed
+*no* observable linkage behaviour.
+
+Regenerate (only when a change is *supposed* to alter linkage output)::
+
+    PYTHONPATH=src:tests python -m golden_linkers
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.baselines import (
+    BfHLinker,
+    CanopyLinker,
+    HarraLinker,
+    SMEBLinker,
+    SortedNeighborhoodLinker,
+)
+from repro.core.config import NCVR_ATTRIBUTE_K
+from repro.core.linker import CompactHammingLinker, StreamingLinker
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.data.pairs import LinkageProblem
+from repro.perf import ParallelConfig
+from repro.rules.parser import parse_rule
+
+PROBLEM_N = 200
+PROBLEM_SEED = 7
+THRESHOLD = 4
+K = 30
+NCVR_RULE = "(f1<=4) & (f2<=4) & (f3<=8)"
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_parity.json"
+
+#: (matches, n_candidates) of one linker run.
+RunOutcome = tuple[set[tuple[int, int]], int]
+
+
+def make_problem() -> LinkageProblem:
+    """The shared fixed-seed NCVR PL linkage problem."""
+    return build_linkage_problem(
+        NCVRGenerator(), PROBLEM_N, scheme_pl(), seed=PROBLEM_SEED
+    )
+
+
+def _run_cbv_record(problem: LinkageProblem, n_jobs: int = 1,
+                    max_chunk_pairs: int | None = None) -> RunOutcome:
+    linker = CompactHammingLinker.record_level(
+        threshold=THRESHOLD,
+        k=K,
+        seed=PROBLEM_SEED,
+        parallel=ParallelConfig(n_jobs=n_jobs),
+        max_chunk_pairs=max_chunk_pairs,
+    )
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+def _run_cbv_rule(problem: LinkageProblem, n_jobs: int = 1) -> RunOutcome:
+    linker = CompactHammingLinker.rule_aware(
+        parse_rule(NCVR_RULE),
+        k=NCVR_ATTRIBUTE_K,
+        seed=PROBLEM_SEED,
+        parallel=ParallelConfig(n_jobs=n_jobs),
+    )
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+def _run_streaming(problem: LinkageProblem) -> RunOutcome:
+    calibrator = CompactHammingLinker.record_level(
+        threshold=THRESHOLD, k=K, seed=PROBLEM_SEED
+    )
+    encoder = calibrator.calibrate(problem.dataset_a, problem.dataset_b)
+    streaming = StreamingLinker(encoder, threshold=THRESHOLD, k=K, seed=PROBLEM_SEED)
+    for values in problem.dataset_a.value_rows():
+        streaming.insert(values)
+    matches: set[tuple[int, int]] = set()
+    n_candidates = 0
+    for j, values in enumerate(problem.dataset_b.value_rows()):
+        n_candidates += len(streaming._lsh.query(streaming.encoder.encode(values)))
+        for record_id, __ in streaming.query(values):
+            matches.add((record_id, j))
+    return matches, n_candidates
+
+
+def _run_bfh(problem: LinkageProblem) -> RunOutcome:
+    linker = BfHLinker(
+        {"f1": 45, "f2": 45, "f3": 90}, n_attributes=4, seed=PROBLEM_SEED
+    )
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+def _run_canopy(problem: LinkageProblem) -> RunOutcome:
+    linker = CanopyLinker(threshold=THRESHOLD, seed=PROBLEM_SEED)
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+def _run_harra(problem: LinkageProblem) -> RunOutcome:
+    linker = HarraLinker(threshold=0.35, k=5, n_tables=30, seed=PROBLEM_SEED)
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+def _run_smeb(problem: LinkageProblem) -> RunOutcome:
+    linker = SMEBLinker(
+        {"f1": 4.5, "f2": 4.5, "f3": 7.7}, n_attributes=4, seed=PROBLEM_SEED
+    )
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+def _run_sorted_neighborhood(problem: LinkageProblem) -> RunOutcome:
+    linker = SortedNeighborhoodLinker(
+        threshold=THRESHOLD, window=10, passes=2, seed=PROBLEM_SEED
+    )
+    result = linker.link(problem.dataset_a, problem.dataset_b)
+    return result.matches, result.n_candidates
+
+
+#: Every golden-pinned linker run, by name.  n_jobs variants prove the
+#: runner's sharding is invisible in the output.
+RUNNERS: dict[str, Callable[[LinkageProblem], RunOutcome]] = {
+    "cbv-record-n1": _run_cbv_record,
+    "cbv-record-n2": lambda p: _run_cbv_record(p, n_jobs=2),
+    "cbv-record-chunked": lambda p: _run_cbv_record(p, max_chunk_pairs=2048),
+    "cbv-rule-n1": _run_cbv_rule,
+    "cbv-rule-n2": lambda p: _run_cbv_rule(p, n_jobs=2),
+    "streaming": _run_streaming,
+    "bfh": _run_bfh,
+    "canopy": _run_canopy,
+    "harra": _run_harra,
+    "smeb": _run_smeb,
+    "sorted-neighborhood": _run_sorted_neighborhood,
+}
+
+
+def outcome_payload(outcome: RunOutcome) -> dict[str, object]:
+    """JSON-stable form of one run outcome."""
+    matches, n_candidates = outcome
+    return {
+        "n_candidates": int(n_candidates),
+        "n_matches": len(matches),
+        "matches": sorted([int(a), int(b)] for a, b in matches),
+    }
+
+
+def regenerate() -> None:
+    problem = make_problem()
+    payload = {name: outcome_payload(run(problem)) for name, run in RUNNERS.items()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+if __name__ == "__main__":
+    regenerate()
+    print(f"wrote {GOLDEN_PATH}")  # noqa: reprolint is src-only; this is a test tool

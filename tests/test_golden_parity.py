@@ -1,0 +1,37 @@
+"""Golden parity: every linker reproduces its pre-pipeline output exactly.
+
+``tests/data/golden_parity.json`` was captured from the implementations
+*before* the stage-pipeline refactor; these tests prove the port onto
+:class:`repro.pipeline.LinkagePipeline` changed no observable linkage
+behaviour — matches and candidate counts byte-identical, including across
+``n_jobs`` settings and candidate chunk budgets.
+"""
+
+import json
+
+import pytest
+
+from tests.golden_linkers import GOLDEN_PATH, RUNNERS, make_problem, outcome_payload
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_file_covers_every_runner(golden):
+    assert set(golden) == set(RUNNERS)
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_linker_matches_golden(name, problem, golden):
+    got = outcome_payload(RUNNERS[name](problem))
+    want = golden[name]
+    assert got["n_candidates"] == want["n_candidates"]
+    assert got["n_matches"] == want["n_matches"]
+    assert got["matches"] == want["matches"]
