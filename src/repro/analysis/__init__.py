@@ -5,15 +5,29 @@ blocking-group counts, the Defs. 4-6 collision probabilities -- depends
 on invariants a generic linter cannot see: every random draw must flow
 from an explicit seed, probabilities must never be compared with float
 ``==``, and the public API must stay fully annotated so strict ``mypy``
-keeps meaning something.  This package is a small AST-based analysis
-framework with a rule-plugin architecture:
+keeps meaning something.  Beyond the per-file rules, the architectural
+invariants of docs/architecture.md -- acyclic module-level imports, the
+declared package layering, parallel-worker purity, the pipeline's stage
+dataflow and seed propagation -- span modules, so the framework runs in
+two phases:
 
 * :mod:`repro.analysis.engine` walks each module's ``ast`` tree once and
-  dispatches nodes to per-rule visitors.
-* :mod:`repro.analysis.rules` holds one module per check (RL001-RL006).
-* :mod:`repro.analysis.report` renders findings as text or JSON.
+  dispatches nodes to per-rule visitors (phase 1, RL001-RL006), then
+  assembles per-module summaries into a whole-program model checked by
+  project rules (phase 2, RL101-RL105).
+* :mod:`repro.analysis.project` extracts the
+  :class:`~repro.analysis.project.ProjectModel`: import graph, symbol
+  tables, stage kinds, ``PipelineContext`` dataflow, ``parallel_map``
+  call sites and RNG seed sources.
+* :mod:`repro.analysis.rules` holds one module per check.
+* :mod:`repro.analysis.report` renders findings as text, JSON, or SARIF
+  2.1.0 for GitHub code scanning.
 * :mod:`repro.analysis.config` loads ``[tool.reprolint]`` from
-  ``pyproject.toml`` (rule selection and per-rule path includes/excludes).
+  ``pyproject.toml`` (rule selection, per-rule scoping and severities,
+  the ``architecture`` contract table).
+* :mod:`repro.analysis.cache` keeps the content-hash incremental cache
+  (``.reprolint_cache.json``); :mod:`repro.analysis.baseline` lets new
+  rules land without blocking on accepted debt.
 
 Run it as ``repro lint src/`` or ``python -m repro.analysis src/``.
 Suppress a finding in place with ``# reprolint: disable=RL003`` (comma
@@ -23,17 +37,29 @@ separated ids; always pair a suppression with a justification comment).
 from __future__ import annotations
 
 from repro.analysis.config import LintConfig, load_config
-from repro.analysis.engine import FileContext, Finding, LintEngine, Rule, lint_paths
-from repro.analysis.report import render_json, render_text
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    ProjectRule,
+    Rule,
+    lint_paths,
+)
+from repro.analysis.project import ModuleSummary, ProjectModel
+from repro.analysis.report import render_json, render_sarif, render_text
 
 __all__ = [
     "FileContext",
     "Finding",
     "LintConfig",
     "LintEngine",
+    "ModuleSummary",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "lint_paths",
     "load_config",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

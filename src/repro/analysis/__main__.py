@@ -1,7 +1,9 @@
 """Entry point: ``python -m repro.analysis [paths...]``.
 
-Also backs the ``repro lint`` CLI subcommand.  Exit status is the number
-of findings capped at 1 (0 = clean), so the command gates CI directly.
+Also backs the ``repro lint`` CLI subcommand.  Exit status: 0 clean (or
+warnings only), 1 error-severity findings, 2 usage error — so the
+command gates CI directly while ``severity = "warn"`` rules report
+without blocking.
 """
 
 from __future__ import annotations
@@ -9,10 +11,13 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.cache import LintCache, config_fingerprint, default_cache_path
 from repro.analysis.config import load_config
-from repro.analysis.engine import lint_paths
-from repro.analysis.report import render_json, render_text
+from repro.analysis.engine import all_rule_ids, lint_paths
+from repro.analysis.report import render_json, render_sarif, render_text
 
 
 def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
@@ -20,12 +25,15 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
     if parser is None:
         parser = argparse.ArgumentParser(
             prog="repro lint",
-            description="reprolint: repo-specific static analysis (RL001-RL006)",
+            description=(
+                "reprolint: repo-specific static analysis "
+                "(per-file RL001-RL006, whole-program RL101-RL105)"
+            ),
         )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default text)",
     )
@@ -43,6 +51,34 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
         metavar="RLxxx",
         help="skip these rules (repeatable, or comma separated)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (.reprolint_cache.json)",
+    )
+    parser.add_argument(
+        "--cache-path",
+        metavar="FILE",
+        default=None,
+        help="cache file location (default: beside pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="drop findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record current findings as the accepted baseline and exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache/parse statistics to stderr",
+    )
     return parser
 
 
@@ -56,15 +92,12 @@ def _split_ids(values: Sequence[str]) -> list[str]:
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments.
 
-    Exit status: 0 clean, 1 findings, 2 usage error (unknown rule id or
-    missing path) -- a typo in ``--select`` must not silently pass CI.
+    Exit status: 0 clean or warnings only, 1 error findings, 2 usage
+    error (unknown rule id, missing path, unreadable baseline) -- a typo
+    in ``--select`` must not silently pass CI.
     """
-    from pathlib import Path
-
-    from repro.analysis.engine import Rule
-
     select, ignore = _split_ids(args.select), _split_ids(args.ignore)
-    known = set(Rule.registered())
+    known = all_rule_ids()
     unknown = [rule_id for rule_id in [*select, *ignore] if rule_id not in known]
     if unknown:
         sys.stderr.write(
@@ -78,14 +111,49 @@ def run_lint(args: argparse.Namespace) -> int:
             f"repro lint: path(s) not found: {', '.join(missing)}\n"
         )
         return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            sys.stderr.write(f"repro lint: cannot read baseline: {exc}\n")
+            return 2
     config = load_config().with_overrides(select=select, ignore=ignore)
-    findings = lint_paths(args.paths, config)
+    cache = None
+    if not args.no_cache:
+        cache_path = (
+            Path(args.cache_path)
+            if args.cache_path is not None
+            else default_cache_path()
+        )
+        fingerprint = config_fingerprint(config, sorted(known))
+        cache = LintCache.load(cache_path, fingerprint)
+    stats: dict[str, int] = {}
+    findings = lint_paths(args.paths, config, cache=cache, stats=stats)
+    if args.stats:
+        sys.stderr.write(
+            "reprolint: {files} file(s), {parsed} parsed, "
+            "{cache_hits} cache hit(s), {project_runs} project pass(es)\n".format(
+                **stats
+            )
+        )
+    if args.write_baseline is not None:
+        count = write_baseline(findings, Path(args.write_baseline))
+        sys.stderr.write(
+            f"repro lint: wrote baseline with {count} finding(s) to "
+            f"{args.write_baseline}\n"
+        )
+        return 0
+    if baseline is not None:
+        findings = apply_baseline(findings, baseline)
     if args.format == "json":
         output = render_json(findings)
+    elif args.format == "sarif":
+        output = render_sarif(findings)
     else:
         output = render_text(findings)
     sys.stdout.write(output + "\n")
-    return 1 if findings else 0
+    return 1 if any(f.severity == "error" for f in findings) else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

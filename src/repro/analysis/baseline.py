@@ -1,0 +1,60 @@
+"""Baseline files: adopt new rules without blocking on existing debt.
+
+A baseline is a JSON file listing known findings.  ``repro lint
+--write-baseline FILE`` records the current findings; later runs with
+``--baseline FILE`` drop any finding matching a recorded
+``(path, rule, message)`` triple, so only *new* violations fail CI.
+Line numbers are deliberately not part of the match: unrelated edits
+shift lines constantly, and a moved-but-unchanged finding is still the
+same piece of accepted debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import Finding
+
+#: Matching key for one accepted finding.
+BaselineKey = tuple[str, str, str]
+
+
+def baseline_key(finding: "Finding") -> BaselineKey:
+    return (finding.path, finding.rule_id, finding.message)
+
+
+def write_baseline(findings: Iterable["Finding"], path: Path) -> int:
+    """Record ``findings`` as the accepted baseline; returns the count."""
+    entries = sorted({baseline_key(finding) for finding in findings})
+    payload = {
+        "version": 1,
+        "findings": [
+            {"path": file_path, "rule": rule_id, "message": message}
+            for file_path, rule_id, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> set[BaselineKey]:
+    """Read a baseline file; raises ``ValueError`` on a malformed file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        keys.add((entry["path"], entry["rule"], entry["message"]))
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence["Finding"], baseline: set[BaselineKey]
+) -> list["Finding"]:
+    """Drop findings already accepted by the baseline."""
+    return [f for f in findings if baseline_key(f) not in baseline]

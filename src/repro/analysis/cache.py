@@ -1,0 +1,209 @@
+"""Content-hash incremental cache for reprolint (``.reprolint_cache.json``).
+
+A lint run is two phases: per-file rules over each AST, then
+whole-program rules over the :class:`~repro.analysis.project.ProjectModel`.
+Both are cached:
+
+* **Per file** — keyed by the sha256 of the file's bytes.  A hit skips
+  parsing entirely: the stored findings *and* the stored
+  :class:`ModuleSummary` are replayed, so phase 2 still has a complete
+  model.
+* **Whole program** — keyed by the hash of every module summary (plus
+  the config fingerprint).  Editing a comment re-hashes one file but
+  leaves its summary identical, so the project key is unchanged and the
+  cross-module rules are skipped too.  Any change that alters the
+  import graph, a class table or stage dataflow changes some summary
+  and invalidates the project entry.
+
+The whole cache is dropped when the config fingerprint or cache format
+version changes.  The file is advisory: a corrupt or unreadable cache
+degrades to a cold run, never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.config import LintConfig
+from repro.analysis.project import SUMMARY_VERSION, ModuleSummary
+
+#: Bump when the cache file layout changes.
+CACHE_VERSION = 1
+
+#: Default cache file name, created next to ``pyproject.toml``.
+CACHE_FILENAME = ".reprolint_cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    """sha256 hex digest of file content."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def config_fingerprint(config: LintConfig, rule_ids: list[str]) -> str:
+    """Hash of everything that changes lint output besides file content."""
+    payload = f"{CACHE_VERSION}/{SUMMARY_VERSION}/{sorted(rule_ids)!r}/{config!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _finding_to_dict(finding: Any) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "message": finding.message,
+        "severity": finding.severity,
+    }
+
+
+def _finding_from_dict(entry: dict[str, Any]) -> Any:
+    from repro.analysis.engine import Finding
+
+    return Finding(
+        path=entry["path"],
+        line=entry["line"],
+        col=entry["col"],
+        rule_id=entry["rule"],
+        message=entry["message"],
+        severity=entry.get("severity", "error"),
+    )
+
+
+@dataclass
+class FileEntry:
+    """Cached per-file lint result."""
+
+    hash: str
+    findings: list[Any]
+    summary: ModuleSummary | None
+
+
+@dataclass
+class LintCache:
+    """One cache file, loaded eagerly and written back once per run."""
+
+    path: Path
+    fingerprint: str
+    files: dict[str, FileEntry] = field(default_factory=dict)
+    project_key: str = ""
+    project_findings: list[Any] | None = None
+    hits: int = 0
+    dirty: bool = False
+
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        """Read the cache; mismatched version/config yields an empty one."""
+        cache = cls(path=path, fingerprint=fingerprint)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            data.get("version") != CACHE_VERSION
+            or data.get("fingerprint") != fingerprint
+        ):
+            return cache
+        for file_path, entry in data.get("files", {}).items():
+            summary_data = entry.get("summary")
+            summary = (
+                ModuleSummary.from_dict(summary_data)
+                if summary_data is not None
+                else None
+            )
+            if summary is None and summary_data is not None:
+                continue  # stale summary version: treat as a miss
+            cache.files[file_path] = FileEntry(
+                hash=entry["hash"],
+                findings=[_finding_from_dict(f) for f in entry["findings"]],
+                summary=summary,
+            )
+        project = data.get("project")
+        if isinstance(project, dict):
+            cache.project_key = project.get("key", "")
+            findings = project.get("findings")
+            if isinstance(findings, list):
+                cache.project_findings = [
+                    _finding_from_dict(f) for f in findings
+                ]
+        return cache
+
+    # -- per-file phase ------------------------------------------------
+
+    def lookup(self, path: str, file_hash: str) -> FileEntry | None:
+        entry = self.files.get(path)
+        if entry is not None and entry.hash == file_hash:
+            self.hits += 1
+            return entry
+        return None
+
+    def store(
+        self,
+        path: str,
+        file_hash: str,
+        findings: list[Any],
+        summary: ModuleSummary | None,
+    ) -> None:
+        self.files[path] = FileEntry(file_hash, list(findings), summary)
+        self.dirty = True
+
+    # -- whole-program phase -------------------------------------------
+
+    def project_lookup(self, key: str) -> list[Any] | None:
+        if key and key == self.project_key:
+            return self.project_findings
+        return None
+
+    def store_project(self, key: str, findings: list[Any]) -> None:
+        self.project_key = key
+        self.project_findings = list(findings)
+        self.dirty = True
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache back if anything changed; failures are ignored."""
+        if not self.dirty:
+            return
+        payload: dict[str, Any] = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {
+                file_path: {
+                    "hash": entry.hash,
+                    "findings": [_finding_to_dict(f) for f in entry.findings],
+                    "summary": (
+                        entry.summary.to_dict()
+                        if entry.summary is not None
+                        else None
+                    ),
+                }
+                for file_path, entry in self.files.items()
+            },
+            "project": {
+                "key": self.project_key,
+                "findings": (
+                    [_finding_to_dict(f) for f in self.project_findings]
+                    if self.project_findings is not None
+                    else None
+                ),
+            },
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+            )
+        except OSError:
+            pass  # advisory cache: never fail the lint run over it
+
+
+def default_cache_path(start: Path | None = None) -> Path:
+    """Cache location: beside ``pyproject.toml`` if found, else cwd."""
+    from repro.analysis.config import find_pyproject
+
+    pyproject = find_pyproject(start)
+    base = pyproject.parent if pyproject is not None else Path.cwd()
+    return base / CACHE_FILENAME

@@ -11,6 +11,13 @@ Recognised keys::
     include = ["core/sizing.py", "hamming/*"]   # restrict rule to paths
     [tool.reprolint.rules.RL006]
     exclude = ["evaluation/reporting.py"]       # skip rule on paths
+    [tool.reprolint.rules.RL104]
+    severity = "warn"                           # downgrade from error
+
+    [tool.reprolint.architecture]               # RL102 contract
+    leaf = ["repro.perf", "repro.pipeline"]     # import-leaf packages
+    [tool.reprolint.architecture.allowed]       # allowed module-level edges
+    "repro.core" = ["repro.hamming", "repro.text"]
 
 Patterns are :mod:`fnmatch` globs matched against the posix form of the
 file path; a pattern also matches when it matches a path suffix, so
@@ -25,26 +32,58 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import Protocol
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.analysis.engine import Rule
+
+class ScopedRule(Protocol):
+    """What path scoping needs from a rule (per-file or whole-program)."""
+
+    rule_id: str
+    default_include: tuple[str, ...]
+    default_exclude: tuple[str, ...]
 
 
 def _matches(path: str, patterns: Iterable[str]) -> bool:
     posix = Path(path).as_posix()
+    name = posix.rsplit("/", 1)[-1]
     for pattern in patterns:
-        if fnmatch(posix, pattern) or fnmatch(posix, f"*/{pattern}"):
+        if "/" in pattern:
+            # Directory-qualified patterns are suffix-matched anywhere in
+            # the path ("tests/*" hits "repo/tests/x.py").
+            if fnmatch(posix, pattern) or fnmatch(posix, f"*/{pattern}"):
+                return True
+        # Bare patterns name *files* ("test_*.py", "conftest.py") -- match
+        # the basename only, lest fnmatch's slash-crossing `*` swallow
+        # everything nested under e.g. a test_* directory.
+        elif fnmatch(name, pattern):
             return True
     return False
 
 
 @dataclass(frozen=True)
 class RuleConfig:
-    """Per-rule path scoping from ``[tool.reprolint.rules.RLxxx]``."""
+    """Per-rule options from ``[tool.reprolint.rules.RLxxx]``."""
 
     include: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
+    #: "error" or "warn"; None keeps the rule's default severity.
+    severity: str | None = None
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """The layering contract from ``[tool.reprolint.architecture]``.
+
+    ``allowed`` maps a package unit (first two dotted segments, or the
+    bare module name for top-level modules) to the units its modules may
+    import at module level.  ``leaf`` lists import-leaf units whose
+    allowed edges may only reach other leaves.  When the table is absent
+    (``present`` False) RL102 skips silently.
+    """
+
+    leaf: tuple[str, ...] = ()
+    allowed: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    present: bool = False
 
 
 @dataclass(frozen=True)
@@ -55,6 +94,7 @@ class LintConfig:
     ignore: tuple[str, ...] = ()
     exclude: tuple[str, ...] = ()
     rule_configs: dict[str, RuleConfig] = field(default_factory=dict)
+    architecture: ArchitectureConfig = field(default_factory=ArchitectureConfig)
 
     def rule_enabled(self, rule_id: str) -> bool:
         if self.select and rule_id not in self.select:
@@ -64,7 +104,7 @@ class LintConfig:
     def path_excluded(self, path: str) -> bool:
         return _matches(path, self.exclude)
 
-    def rule_applies(self, rule: "Rule", path: str) -> bool:
+    def rule_applies(self, rule: ScopedRule, path: str) -> bool:
         """Does ``rule`` run on ``path``, honouring include/exclude scoping?"""
         rule_cfg = self.rule_configs.get(rule.rule_id, RuleConfig())
         include = rule_cfg.include or rule.default_include
@@ -73,6 +113,13 @@ class LintConfig:
         if _matches(path, rule.default_exclude):
             return False
         return not _matches(path, rule_cfg.exclude)
+
+    def severity_for(self, rule_id: str, default: str = "error") -> str:
+        """Effective severity of a rule: config override or its default."""
+        rule_cfg = self.rule_configs.get(rule_id)
+        if rule_cfg is not None and rule_cfg.severity is not None:
+            return rule_cfg.severity
+        return default
 
     def with_overrides(
         self,
@@ -84,6 +131,7 @@ class LintConfig:
             ignore=tuple(ignore) if ignore is not None and ignore else self.ignore,
             exclude=self.exclude,
             rule_configs=dict(self.rule_configs),
+            architecture=self.architecture,
         )
 
 
@@ -94,6 +142,14 @@ def find_pyproject(start: Path | None = None) -> Path | None:
         pyproject = candidate / "pyproject.toml"
         if pyproject.is_file():
             return pyproject
+    return None
+
+
+def _normalise_severity(raw: object) -> str | None:
+    if raw in ("error",):
+        return "error"
+    if raw in ("warn", "warning"):
+        return "warn"
     return None
 
 
@@ -111,10 +167,21 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
         rule_configs[rule_id] = RuleConfig(
             include=tuple(entry.get("include", ())),
             exclude=tuple(entry.get("exclude", ())),
+            severity=_normalise_severity(entry.get("severity")),
         )
+    arch_table = table.get("architecture", {})
+    architecture = ArchitectureConfig(
+        leaf=tuple(arch_table.get("leaf", ())),
+        allowed={
+            unit: tuple(targets)
+            for unit, targets in arch_table.get("allowed", {}).items()
+        },
+        present=bool(arch_table),
+    )
     return LintConfig(
         select=tuple(table.get("select", ())),
         ignore=tuple(table.get("ignore", ())),
         exclude=tuple(table.get("exclude", ())),
         rule_configs=rule_configs,
+        architecture=architecture,
     )

@@ -1,12 +1,21 @@
-"""Core of the reprolint framework: rules, findings, and the AST walk.
+"""Core of the reprolint framework: rules, findings, and the two phases.
 
-A :class:`Rule` declares the AST node types it wants to see
-(``interests``) and implements :meth:`Rule.check_node`.  The
+Per-file rules (:class:`Rule`) declare the AST node types they want to
+see (``interests``) and implement :meth:`Rule.check_node`.  The
 :class:`LintEngine` parses each file once, builds a shared
 :class:`FileContext` (source lines, parent links, per-line
 suppressions), then walks the tree a single time, fanning each node out
 to every rule interested in its type.  This keeps a lint run O(nodes)
 regardless of how many rules are registered.
+
+Whole-program rules (:class:`ProjectRule`, RL101+) run in a second
+phase: while each file is parsed, a
+:class:`~repro.analysis.project.ModuleSummary` is extracted, the
+summaries are assembled into a
+:class:`~repro.analysis.project.ProjectModel`, and each project rule
+checks the model as a whole.  Both phases flow through the same
+severity, scoping, suppression and caching machinery, so a cross-module
+finding behaves exactly like a per-file one.
 
 Suppressions are comment-driven: a physical line containing
 ``# reprolint: disable=RL001`` (ids comma separated) silences those
@@ -17,14 +26,18 @@ rules for findings anchored to that line.  Comments are discovered with
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import re
 import tokenize
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.analysis.cache import LintCache, content_hash
 from repro.analysis.config import LintConfig
+from repro.analysis.project import ModuleSummary, ProjectModel, extract_module, module_name_for
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
 
@@ -38,9 +51,21 @@ class Finding:
     col: int
     rule_id: str
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+#: Canonical finding order for reports: position first, then rule id.
+def finding_sort_key(finding: Finding) -> tuple[str, int, int, str, str]:
+    return (
+        finding.path,
+        finding.line,
+        finding.col,
+        finding.rule_id,
+        finding.message,
+    )
 
 
 @dataclass
@@ -104,7 +129,7 @@ def _collect_suppressions(source: str) -> dict[int, frozenset[str]]:
 
 
 class Rule:
-    """Base class for reprolint rules (the plugin interface).
+    """Base class for per-file reprolint rules (the plugin interface).
 
     Subclasses set ``rule_id``, ``summary`` and ``interests`` and
     implement :meth:`check_node`.  Registration is automatic via
@@ -120,6 +145,8 @@ class Rule:
     default_include: tuple[str, ...] = ()
     #: Default path globs the rule never runs on (e.g. tests for RL001).
     default_exclude: tuple[str, ...] = ()
+    #: Severity findings carry unless the config overrides it.
+    default_severity: str = "error"
 
     _registry: dict[str, type["Rule"]] = {}
 
@@ -150,14 +177,65 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for whole-program rules (RL101+).
+
+    Project rules see the assembled
+    :class:`~repro.analysis.project.ProjectModel` instead of single
+    files.  Path scoping (``default_include``/``default_exclude`` and
+    the per-rule config globs) is applied to each finding's path after
+    the fact, and per-line suppression comments work through the module
+    summaries, so the two rule families are configured identically.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    default_include: tuple[str, ...] = ()
+    default_exclude: tuple[str, ...] = ()
+    default_severity: str = "error"
+
+    _registry: dict[str, type["ProjectRule"]] = {}
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.rule_id:
+            ProjectRule._registry[cls.rule_id] = cls
+
+    @classmethod
+    def registered(cls) -> dict[str, type["ProjectRule"]]:
+        import repro.analysis.rules  # noqa: F401
+
+        return dict(cls._registry)
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            path=path, line=line, col=col, rule_id=self.rule_id, message=message
+        )
+
+
+def all_rule_ids() -> set[str]:
+    """Every registered rule id, per-file and whole-program."""
+    return set(Rule.registered()) | set(ProjectRule.registered())
+
+
 class LintEngine:
-    """Run a set of rules over Python source files."""
+    """Run per-file and whole-program rules over Python source files."""
 
     def __init__(self, config: LintConfig) -> None:
         self.config = config
         self.rules: list[Rule] = [
             rule_cls()
             for rule_id, rule_cls in sorted(Rule.registered().items())
+            if config.rule_enabled(rule_id)
+        ]
+        self.project_rules: list[ProjectRule] = [
+            rule_cls()
+            for rule_id, rule_cls in sorted(ProjectRule.registered().items())
             if config.rule_enabled(rule_id)
         ]
         self._dispatch: dict[type[ast.AST], list[Rule]] = {}
@@ -167,20 +245,39 @@ class LintEngine:
 
     def lint_source(self, path: str, source: str) -> list[Finding]:
         """Lint one in-memory module; ``path`` is used for reporting/config."""
+        findings, _ = self.lint_source_with_summary(path, source)
+        return findings
+
+    def lint_source_with_summary(
+        self, path: str, source: str
+    ) -> tuple[list[Finding], ModuleSummary | None]:
+        """Per-file phase for one module: findings plus its model summary."""
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
             line = exc.lineno or 1
             col = (exc.offset or 1)
-            return [
-                Finding(path, line, col, "RL000", f"syntax error: {exc.msg}")
-            ]
-        ctx = FileContext.build(path, source, tree)
+            return (
+                [Finding(path, line, col, "RL000", f"syntax error: {exc.msg}")],
+                None,
+            )
+        findings = self._check_tree(path, source, tree)
+        summary = extract_module(module_name_for(Path(path)), path, tree)
+        summary.suppressions = {
+            str(line): sorted(ids)
+            for line, ids in _collect_suppressions(source).items()
+        }
+        return findings, summary
+
+    def _check_tree(
+        self, path: str, source: str, tree: ast.Module
+    ) -> list[Finding]:
         active = [
             rule for rule in self.rules if self.config.rule_applies(rule, path)
         ]
         if not active:
             return []
+        ctx = FileContext.build(path, source, tree)
         dispatch: dict[type[ast.AST], list[Rule]] = {}
         for rule in active:
             for node_type in rule.interests:
@@ -188,14 +285,42 @@ class LintEngine:
         findings: list[Finding] = []
         for node in ast.walk(tree):
             for rule in dispatch.get(type(node), ()):
+                severity = self.config.severity_for(
+                    rule.rule_id, rule.default_severity
+                )
                 for finding in rule.check_node(node, ctx):
                     if not ctx.is_suppressed(finding):
+                        if finding.severity != severity:
+                            finding = replace(finding, severity=severity)
                         findings.append(finding)
-        return sorted(findings)
+        return sorted(findings, key=finding_sort_key)
 
     def lint_file(self, path: Path) -> list[Finding]:
         source = path.read_text(encoding="utf-8")
         return self.lint_source(str(path), source)
+
+    def run_project_rules(self, model: ProjectModel) -> list[Finding]:
+        """Phase 2: every enabled whole-program rule over the model."""
+        by_path: dict[str, ModuleSummary] = {
+            summary.path: summary for summary in model.modules.values()
+        }
+        findings: list[Finding] = []
+        for rule in self.project_rules:
+            severity = self.config.severity_for(
+                rule.rule_id, rule.default_severity
+            )
+            for finding in rule.check_project(model, self.config):
+                if not self.config.rule_applies(rule, finding.path):
+                    continue
+                summary = by_path.get(finding.path)
+                if summary is not None and summary.is_suppressed(
+                    finding.line, finding.rule_id
+                ):
+                    continue
+                if finding.severity != severity:
+                    finding = replace(finding, severity=severity)
+                findings.append(finding)
+        return sorted(findings, key=finding_sort_key)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -214,18 +339,89 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def _project_cache_key(
+    fingerprint: str, summaries: Sequence[ModuleSummary]
+) -> str:
+    """Cache key of the whole-program phase: config + every summary.
+
+    Hashing the *summaries* rather than the file contents means edits
+    that cannot affect cross-module rules (comments, docstrings, body
+    tweaks that leave imports/classes/dataflow unchanged) keep the key
+    stable and skip phase 2.
+    """
+    blob = json.dumps(
+        [s.to_dict() for s in sorted(summaries, key=lambda s: s.path)],
+        sort_keys=True,
+    )
+    return hashlib.sha256((fingerprint + blob).encode("utf-8")).hexdigest()
+
+
 def lint_paths(
-    paths: Iterable[str | Path], config: LintConfig | None = None
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+    *,
+    cache: LintCache | None = None,
+    stats: dict[str, int] | None = None,
 ) -> list[Finding]:
-    """Lint files/directories and return all findings, sorted by position."""
+    """Lint files/directories and return deduplicated, sorted findings.
+
+    Findings are sorted by (path, line, col, rule id, message) and exact
+    duplicates (e.g. from overlapping input paths) are dropped, so output
+    is deterministic regardless of argument order.
+
+    ``cache`` enables the incremental cache (hits skip parsing and, when
+    no summary changed, the whole-program phase).  ``stats``, when given,
+    is filled with ``files`` / ``parsed`` / ``cache_hits`` /
+    ``project_runs`` counters — the cache tests assert on these rather
+    than wall-clock.
+    """
     if config is None:
         from repro.analysis.config import load_config
 
         config = load_config()
     engine = LintEngine(config)
+    counters = {"files": 0, "parsed": 0, "cache_hits": 0, "project_runs": 0}
     findings: list[Finding] = []
+    summaries: list[ModuleSummary] = []
     for path in iter_python_files(paths):
         if config.path_excluded(str(path)):
             continue
-        findings.extend(engine.lint_file(path))
-    return sorted(findings)
+        counters["files"] += 1
+        raw = path.read_bytes()
+        file_hash = content_hash(raw)
+        cache_id = str(path.resolve())
+        entry = cache.lookup(cache_id, file_hash) if cache is not None else None
+        if entry is not None:
+            counters["cache_hits"] += 1
+            findings.extend(entry.findings)
+            if entry.summary is not None:
+                summaries.append(entry.summary)
+            continue
+        counters["parsed"] += 1
+        source = raw.decode("utf-8")
+        file_findings, summary = engine.lint_source_with_summary(
+            str(path), source
+        )
+        findings.extend(file_findings)
+        if summary is not None:
+            summaries.append(summary)
+        if cache is not None:
+            cache.store(cache_id, file_hash, file_findings, summary)
+    if engine.project_rules:
+        project_findings: list[Finding] | None = None
+        project_key = ""
+        if cache is not None:
+            project_key = _project_cache_key(cache.fingerprint, summaries)
+            project_findings = cache.project_lookup(project_key)
+        if project_findings is None:
+            counters["project_runs"] += 1
+            model = ProjectModel.from_summaries(summaries)
+            project_findings = engine.run_project_rules(model)
+            if cache is not None:
+                cache.store_project(project_key, project_findings)
+        findings.extend(project_findings)
+    if cache is not None:
+        cache.save()
+    if stats is not None:
+        stats.update(counters)
+    return sorted(set(findings), key=finding_sort_key)

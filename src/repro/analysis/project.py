@@ -1,0 +1,939 @@
+"""Phase 1 of whole-program reprolint: the :class:`ProjectModel`.
+
+The per-file rules (RL001-RL006) see one AST at a time.  The
+architectural invariants this package also guards — the import layering
+of docs/architecture.md, parallel-safety of ``repro.perf`` workers, the
+stage-dataflow contract of ``repro.pipeline`` — span modules, so lint
+runs build a whole-program model first and run :class:`ProjectRule`
+checks (RL101-RL105) over it second.
+
+The model is deliberately *summary-shaped* rather than AST-shaped: one
+:class:`ModuleSummary` per file capturing imports (classified as
+module-level / runtime / typing-only), name bindings, class symbol
+tables with base classes and ``kind`` declarations, per-function
+``PipelineContext`` attribute reads/writes, mutation and RNG behaviour,
+``parallel_map`` call sites, RNG-constructor seed sources, and stage
+list literals.  Summaries are plain JSON-serialisable data so the
+incremental cache (:mod:`repro.analysis.cache`) can persist them and a
+warm run never re-parses unchanged files.
+
+Everything here is best-effort static analysis: dynamic constructs the
+extractor cannot see (computed imports, ``setattr``) simply do not
+appear in the model.  Rules therefore only flag what the model
+positively establishes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.rngpatterns import (
+    RNG_CONSTRUCTORS,
+    has_seed_argument,
+    is_global_rng_call,
+    seed_argument,
+)
+
+#: Bump when the ModuleSummary shape changes; invalidates cached summaries.
+SUMMARY_VERSION = 1
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to a dotted string, else None.
+
+    (Intentionally mirrors :func:`repro.analysis.rules.common.dotted_name`;
+    importing the rules package from here would create an import cycle
+    through the rule registry.)
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ImportRecord:
+    """One import statement edge out of a module.
+
+    ``kind`` is ``"module"`` for top-level imports, ``"runtime"`` for
+    imports inside a function body (the sanctioned layering escape
+    hatch), and ``"typing"`` for ``TYPE_CHECKING``-guarded imports.
+    ``guessed`` marks ``from pkg import name`` aliases re-recorded as
+    ``pkg.name`` — real edges only when that dotted path is a module.
+    """
+
+    target: str
+    lineno: int
+    col: int
+    kind: str = "module"
+    guessed: bool = False
+
+
+@dataclass
+class RngCall:
+    """A call that draws randomness (for the parallel-safety rule)."""
+
+    name: str
+    lineno: int
+    col: int
+    #: True for process-global draws; False for unseeded constructors.
+    global_state: bool = True
+
+
+@dataclass
+class RngConstruction:
+    """An RNG constructor call and where its seed comes from (RL105)."""
+
+    name: str
+    lineno: int
+    col: int
+    #: "literal" | "none" | "name" | "attribute" | "expr" | "missing"
+    seed_kind: str
+    seed_repr: str = ""
+    scope: str = "<module>"
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one function or method body."""
+
+    qualname: str
+    lineno: int
+    col: int
+    params: list[str] = field(default_factory=list)
+    #: Parameter carrying the PipelineContext, if the function takes one.
+    ctx_param: str | None = None
+    #: PipelineContext attribute -> first line read / written.
+    ctx_reads: dict[str, int] = field(default_factory=dict)
+    ctx_writes: dict[str, int] = field(default_factory=dict)
+    #: Same-module functions this one forwards its ctx to.
+    ctx_calls: list[str] = field(default_factory=list)
+    global_decls: list[str] = field(default_factory=list)
+    #: (name, lineno) of in-place mutations of names not local to the body.
+    mutations: list[list[Any]] = field(default_factory=list)
+    rng_calls: list[RngCall] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """Symbol-table entry for one class definition."""
+
+    name: str
+    lineno: int
+    bases: list[str] = field(default_factory=list)
+    #: Value of a literal ``kind = "..."`` class attribute, if present.
+    kind_literal: str | None = None
+    #: Annotated class-level names (dataclass fields).
+    fields: list[str] = field(default_factory=list)
+    properties: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class CallableRef:
+    """A callable expression handed to ``parallel_map``."""
+
+    #: "name" (resolvable reference), "inline" (lambda/comprehension
+    #: analysed in place) or "other" (opaque expression).
+    kind: str
+    name: str = ""
+    inline: FunctionInfo | None = None
+
+
+@dataclass
+class ParallelCall:
+    """One ``parallel_map`` call site."""
+
+    lineno: int
+    col: int
+    scope: str
+    worker: CallableRef | None = None
+    initializer: CallableRef | None = None
+
+
+@dataclass
+class StageList:
+    """A list literal whose elements are all constructor calls.
+
+    Candidate for a pipeline stage sequence; RL104 checks ordering when
+    every element resolves to a known stage class.
+    """
+
+    lineno: int
+    col: int
+    scope: str
+    #: (source-dotted class name, lineno) per element.
+    elements: list[list[Any]] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the cross-module rules need to know about one module."""
+
+    name: str
+    path: str
+    is_package: bool = False
+    imports: list[ImportRecord] = field(default_factory=list)
+    #: Module-level name bindings from imports: local name -> dotted target.
+    bindings: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    parallel_calls: list[ParallelCall] = field(default_factory=list)
+    rng_constructions: list[RngConstruction] = field(default_factory=list)
+    stage_lists: list[StageList] = field(default_factory=list)
+    #: ``# reprolint: disable=`` markers: line number (as str, for JSON
+    #: round-tripping) -> disabled rule ids.  Attached by the engine so
+    #: project rules honour suppressions without re-reading sources.
+    suppressions: dict[str, list[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.suppressions.get(str(line), ())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (see :data:`SUMMARY_VERSION`)."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["version"] = SUMMARY_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModuleSummary | None":
+        """Rebuild from :meth:`to_dict` output; None on a stale version."""
+        if data.get("version") != SUMMARY_VERSION:
+            return None
+
+        def fn(entry: Mapping[str, Any]) -> FunctionInfo:
+            return FunctionInfo(
+                qualname=entry["qualname"],
+                lineno=entry["lineno"],
+                col=entry["col"],
+                params=list(entry["params"]),
+                ctx_param=entry["ctx_param"],
+                ctx_reads=dict(entry["ctx_reads"]),
+                ctx_writes=dict(entry["ctx_writes"]),
+                ctx_calls=list(entry["ctx_calls"]),
+                global_decls=list(entry["global_decls"]),
+                mutations=[list(m) for m in entry["mutations"]],
+                rng_calls=[RngCall(**call) for call in entry["rng_calls"]],
+            )
+
+        def ref(entry: Mapping[str, Any] | None) -> CallableRef | None:
+            if entry is None:
+                return None
+            inline = entry.get("inline")
+            return CallableRef(
+                kind=entry["kind"],
+                name=entry.get("name", ""),
+                inline=fn(inline) if inline is not None else None,
+            )
+
+        return cls(
+            name=data["name"],
+            path=data["path"],
+            is_package=data["is_package"],
+            imports=[ImportRecord(**record) for record in data["imports"]],
+            bindings=dict(data["bindings"]),
+            functions={key: fn(value) for key, value in data["functions"].items()},
+            classes={
+                key: ClassInfo(
+                    name=value["name"],
+                    lineno=value["lineno"],
+                    bases=list(value["bases"]),
+                    kind_literal=value["kind_literal"],
+                    fields=list(value["fields"]),
+                    properties=list(value["properties"]),
+                    methods={
+                        mname: fn(mval) for mname, mval in value["methods"].items()
+                    },
+                )
+                for key, value in data["classes"].items()
+            },
+            parallel_calls=[
+                ParallelCall(
+                    lineno=entry["lineno"],
+                    col=entry["col"],
+                    scope=entry["scope"],
+                    worker=ref(entry["worker"]),
+                    initializer=ref(entry["initializer"]),
+                )
+                for entry in data["parallel_calls"]
+            ],
+            rng_constructions=[
+                RngConstruction(**entry) for entry in data["rng_constructions"]
+            ],
+            stage_lists=[
+                StageList(
+                    lineno=entry["lineno"],
+                    col=entry["col"],
+                    scope=entry["scope"],
+                    elements=[list(element) for element in entry["elements"]],
+                )
+                for entry in data["stage_lists"]
+            ],
+            suppressions={
+                key: list(value) for key, value in data["suppressions"].items()
+            },
+        )
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name by climbing ``__init__.py`` chains.
+
+    ``src/repro/core/linker.py`` -> ``repro.core.linker`` because
+    ``src/repro/core`` and ``src/repro`` are packages while ``src`` is
+    not.  A file outside any package keeps its bare stem.
+    """
+    resolved = path.resolve()
+    if resolved.name == "__init__.py":
+        parts: list[str] = []
+        current = resolved.parent
+    else:
+        parts = [resolved.stem]
+        current = resolved.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        current = current.parent
+    if not parts:  # an __init__.py with no package directory above it
+        parts = [resolved.parent.name]
+    return ".".join(parts)
+
+
+def _resolve_relative(
+    module_name: str, is_package: bool, level: int, target: str | None
+) -> str:
+    """Resolve a ``from ...x import y`` module reference to absolute form."""
+    if level == 0:
+        return target or ""
+    parts = module_name.split(".")
+    # Level 1 from inside a package __init__ refers to the package itself.
+    strip = level - 1 if is_package else level
+    base = parts[: len(parts) - strip] if strip else parts
+    if target:
+        return ".".join([*base, target])
+    return ".".join(base)
+
+
+class _Extractor:
+    """Single-pass recursive walk building one :class:`ModuleSummary`."""
+
+    def __init__(self, name: str, path: str, is_package: bool) -> None:
+        self.summary = ModuleSummary(name=name, path=path, is_package=is_package)
+        self._scope: list[str] = []
+        self._typing_depth = 0
+        self._func_depth = 0
+        #: FunctionInfo accumulating ctx/mutation facts (outermost function).
+        self._func: FunctionInfo | None = None
+        self._locals: set[str] = set()
+
+    # -- entry ---------------------------------------------------------
+
+    def run(self, tree: ast.Module) -> ModuleSummary:
+        for stmt in tree.body:
+            self._visit(stmt)
+        return self.summary
+
+    # -- scope helpers -------------------------------------------------
+
+    def _scope_name(self) -> str:
+        return ".".join(self._scope) if self._scope else "<module>"
+
+    def _import_kind(self) -> str:
+        if self._typing_depth:
+            return "typing"
+        if self._func_depth:
+            return "runtime"
+        return "module"
+
+    # -- dispatch ------------------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            self._handle_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            self._handle_import_from(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._handle_function(node)
+        elif isinstance(node, ast.ClassDef):
+            self._handle_class(node)
+        elif isinstance(node, ast.If) and self._is_type_checking(node.test):
+            self._typing_depth += 1
+            for stmt in node.body:
+                self._visit(stmt)
+            self._typing_depth -= 1
+            for stmt in node.orelse:
+                self._visit(stmt)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            if self._func is not None:
+                self._func.global_decls.extend(node.names)
+        else:
+            self._handle_generic(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        name = dotted_name(test)
+        return name is not None and (
+            name == "TYPE_CHECKING" or name.endswith(".TYPE_CHECKING")
+        )
+
+    # -- imports -------------------------------------------------------
+
+    def _handle_import(self, node: ast.Import) -> None:
+        kind = self._import_kind()
+        for alias in node.names:
+            self.summary.imports.append(
+                ImportRecord(alias.name, node.lineno, node.col_offset + 1, kind)
+            )
+            if kind == "module" and not self._scope:
+                if alias.asname:
+                    self.summary.bindings[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    self.summary.bindings[root] = root
+
+    def _handle_import_from(self, node: ast.ImportFrom) -> None:
+        kind = self._import_kind()
+        base = _resolve_relative(
+            self.summary.name, self.summary.is_package, node.level, node.module
+        )
+        if not base:
+            return
+        self.summary.imports.append(
+            ImportRecord(base, node.lineno, node.col_offset + 1, kind)
+        )
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            target = f"{base}.{alias.name}"
+            # ``from pkg import sub`` may import a submodule: record a
+            # guessed edge the model confirms against known module names.
+            self.summary.imports.append(
+                ImportRecord(target, node.lineno, node.col_offset + 1, kind, True)
+            )
+            if kind == "module" and not self._scope:
+                self.summary.bindings[alias.asname or alias.name] = target
+
+    # -- functions -----------------------------------------------------
+
+    def _handle_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        qualname = ".".join([*self._scope, node.name]) if self._scope else node.name
+        outermost = self._func is None
+        if outermost:
+            info = self._function_info(node, qualname)
+            self._func = info
+            self._locals = _local_names(node)
+            if len(self._scope) == 0:
+                self.summary.functions[node.name] = info
+        else:
+            # Nested defs fold their facts into the enclosing summary;
+            # the nested name is local there.
+            self._locals.add(node.name)
+
+        self._scope.append(node.name)
+        self._func_depth += 1
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is not None:
+                self._visit(default)
+        for stmt in node.body:
+            self._visit(stmt)
+        self._func_depth -= 1
+        self._scope.pop()
+
+        if outermost:
+            self._func = None
+            self._locals = set()
+
+    def _function_info(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str
+    ) -> FunctionInfo:
+        args = node.args
+        params = [
+            arg.arg
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        ]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        ctx_param = _find_ctx_param(args)
+        return FunctionInfo(
+            qualname=qualname,
+            lineno=node.lineno,
+            col=node.col_offset + 1,
+            params=params,
+            ctx_param=ctx_param,
+        )
+
+    # -- classes -------------------------------------------------------
+
+    def _handle_class(self, node: ast.ClassDef) -> None:
+        info = ClassInfo(name=node.name, lineno=node.lineno)
+        for base in node.bases:
+            name = dotted_name(base)
+            if name is not None:
+                info.bases.append(name)
+        if not self._scope and self._func is None:
+            self.summary.classes[node.name] = info
+
+        self._scope.append(node.name)
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                info.fields.append(stmt.target.id)
+                if (
+                    stmt.target.id == "kind"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    info.kind_literal = stmt.value.value
+                if stmt.value is not None:
+                    self._visit(stmt.value)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "kind"
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)
+                    ):
+                        info.kind_literal = stmt.value.value
+                self._visit(stmt.value)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(
+                    dotted_name(dec) in ("property", "functools.cached_property")
+                    or (
+                        isinstance(dec, ast.Attribute)
+                        and dec.attr == "cached_property"
+                    )
+                    for dec in stmt.decorator_list
+                ):
+                    info.properties.append(stmt.name)
+                was_func, was_locals = self._func, self._locals
+                self._func = None  # methods get their own FunctionInfo
+                method = self._function_info(
+                    stmt, ".".join([*self._scope, stmt.name])
+                )
+                self._func = method
+                self._locals = _local_names(stmt)
+                self._scope.append(stmt.name)
+                self._func_depth += 1
+                for body_stmt in stmt.body:
+                    self._visit(body_stmt)
+                self._func_depth -= 1
+                self._scope.pop()
+                self._func, self._locals = was_func, was_locals
+                info.methods[stmt.name] = method
+            else:
+                self._visit(stmt)
+        self._scope.pop()
+
+    # -- expression-level facts ---------------------------------------
+
+    def _handle_generic(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Lambda):
+            # Lambda params are local while the body is scanned.
+            for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+                self._locals.add(arg.arg)
+        if isinstance(node, ast.Attribute):
+            self._record_ctx_access(node)
+        elif isinstance(node, ast.Call):
+            self._record_call(node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            self._record_assignment(node)
+        elif isinstance(node, ast.List) and isinstance(node.ctx, ast.Load):
+            self._record_stage_list(node)
+
+    def _record_ctx_access(self, node: ast.Attribute) -> None:
+        func = self._func
+        if func is None or func.ctx_param is None:
+            return
+        if not (
+            isinstance(node.value, ast.Name) and node.value.id == func.ctx_param
+        ):
+            return
+        if isinstance(node.ctx, ast.Store):
+            func.ctx_writes.setdefault(node.attr, node.lineno)
+        else:
+            func.ctx_reads.setdefault(node.attr, node.lineno)
+
+    def _record_call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        func = self._func
+        if name is not None:
+            if name == "parallel_map" or name.endswith(".parallel_map"):
+                self._record_parallel_call(node)
+            if is_global_rng_call(name) and func is not None:
+                func.rng_calls.append(
+                    RngCall(name, node.lineno, node.col_offset + 1, True)
+                )
+            if RNG_CONSTRUCTORS.match(name):
+                if func is not None and not has_seed_argument(node):
+                    func.rng_calls.append(
+                        RngCall(name, node.lineno, node.col_offset + 1, False)
+                    )
+                self._record_rng_construction(node, name)
+            # Mutator-method calls on names that are not function-local.
+            if func is not None and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATOR_METHODS:
+                    base = _base_name(node.func.value)
+                    if base is not None and not self._is_local(base, func):
+                        func.mutations.append([base, node.lineno])
+        if func is not None and isinstance(node.func, ast.Name):
+            if func.ctx_param is not None and any(
+                isinstance(arg, ast.Name) and arg.id == func.ctx_param
+                for arg in node.args
+            ):
+                func.ctx_calls.append(node.func.id)
+
+    def _record_assignment(self, node: ast.Assign | ast.AugAssign) -> None:
+        func = self._func
+        if func is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for leaf in _assignment_leaves(target):
+                if isinstance(leaf, (ast.Attribute, ast.Subscript)):
+                    base = _base_name(leaf)
+                    if base is None or self._is_local(base, func):
+                        continue
+                    if (
+                        isinstance(leaf, ast.Attribute)
+                        and func.ctx_param is not None
+                        and base == func.ctx_param
+                    ):
+                        continue  # ctx writes are dataflow, not shared state
+                    func.mutations.append([base, node.lineno])
+
+    def _is_local(self, name: str, func: FunctionInfo) -> bool:
+        if name in func.global_decls:
+            return False
+        return name in self._locals or name in func.params
+
+    def _record_parallel_call(self, node: ast.Call) -> None:
+        worker_expr: ast.expr | None = node.args[0] if node.args else None
+        initializer_expr: ast.expr | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "fn" and worker_expr is None:
+                worker_expr = keyword.value
+            elif keyword.arg == "initializer":
+                initializer_expr = keyword.value
+        self.summary.parallel_calls.append(
+            ParallelCall(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                scope=self._scope_name(),
+                worker=self._callable_ref(worker_expr),
+                initializer=self._callable_ref(initializer_expr),
+            )
+        )
+
+    def _callable_ref(self, expr: ast.expr | None) -> CallableRef | None:
+        if expr is None:
+            return None
+        name = dotted_name(expr)
+        if name is not None:
+            return CallableRef(kind="name", name=name)
+        if isinstance(expr, ast.Lambda):
+            return CallableRef(kind="inline", inline=self._lambda_info(expr))
+        return CallableRef(kind="other")
+
+    def _lambda_info(self, node: ast.Lambda) -> FunctionInfo:
+        """Analyse an inline lambda as its own miniature function."""
+        args = node.args
+        params = [
+            arg.arg
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        ]
+        info = FunctionInfo(
+            qualname="<lambda>",
+            lineno=node.lineno,
+            col=node.col_offset + 1,
+            params=params,
+        )
+        local = set(params)
+        for sub in ast.walk(node.body):
+            if isinstance(sub, ast.Call):
+                name = dotted_name(sub.func)
+                if name is not None:
+                    if is_global_rng_call(name):
+                        info.rng_calls.append(
+                            RngCall(name, sub.lineno, sub.col_offset + 1, True)
+                        )
+                    elif RNG_CONSTRUCTORS.match(name) and not has_seed_argument(sub):
+                        info.rng_calls.append(
+                            RngCall(name, sub.lineno, sub.col_offset + 1, False)
+                        )
+                if isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr in _MUTATOR_METHODS:
+                        base = _base_name(sub.func.value)
+                        if base is not None and base not in local:
+                            info.mutations.append([base, sub.lineno])
+        return info
+
+    def _record_rng_construction(self, node: ast.Call, name: str) -> None:
+        seed = seed_argument(node)
+        if seed is None:
+            seed_kind, seed_repr = "missing", ""
+        elif isinstance(seed, ast.Constant):
+            seed_kind = "none" if seed.value is None else "literal"
+            seed_repr = repr(seed.value)
+        elif isinstance(seed, ast.Name):
+            seed_kind, seed_repr = "name", seed.id
+        elif isinstance(seed, ast.Attribute):
+            seed_kind = "attribute"
+            seed_repr = dotted_name(seed) or seed.attr
+        else:
+            seed_kind, seed_repr = "expr", type(seed).__name__
+        self.summary.rng_constructions.append(
+            RngConstruction(
+                name=name,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                seed_kind=seed_kind,
+                seed_repr=seed_repr,
+                scope=self._scope_name(),
+            )
+        )
+
+    def _record_stage_list(self, node: ast.List) -> None:
+        if len(node.elts) < 2:
+            return
+        elements: list[list[Any]] = []
+        for element in node.elts:
+            if not isinstance(element, ast.Call):
+                return
+            name = dotted_name(element.func)
+            if name is None:
+                return
+            elements.append([name, element.lineno])
+        self.summary.stage_lists.append(
+            StageList(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                scope=self._scope_name(),
+                elements=elements,
+            )
+        )
+
+
+def _find_ctx_param(args: ast.arguments) -> str | None:
+    """The parameter carrying a PipelineContext, if recognisable."""
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.annotation is not None:
+            annotation = arg.annotation
+            name: str | None
+            if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str
+            ):
+                name = annotation.value
+            else:
+                name = dotted_name(annotation)
+            if name is not None and name.split(".")[-1] == "PipelineContext":
+                return arg.arg
+        if arg.arg == "ctx":
+            return arg.arg
+    return None
+
+
+def _local_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound anywhere inside the function body (incl. nested defs).
+
+    Used to separate in-place mutation of locals (fine) from mutation of
+    enclosing/module state (flagged by RL103 for parallel workers).
+    Including nested-def bindings errs on the permissive side.
+    """
+    names: set[str] = set()
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(sub.name)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            names.add(sub.name)
+        elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+            for alias in sub.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The root ``Name`` of an attribute/subscript chain, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _assignment_leaves(target: ast.expr) -> Iterator[ast.expr]:
+    """Flatten tuple/list/starred assignment targets to leaf targets."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _assignment_leaves(element)
+    elif isinstance(target, ast.Starred):
+        yield from _assignment_leaves(target.value)
+    else:
+        yield target
+
+
+def extract_module(name: str, path: str, tree: ast.Module) -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for one parsed module."""
+    is_package = Path(path).name == "__init__.py"
+    return _Extractor(name, path, is_package).run(tree)
+
+
+@dataclass
+class ProjectModel:
+    """Phase-1 output: every module summary, with resolution helpers."""
+
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+
+    @classmethod
+    def from_summaries(cls, summaries: Iterable[ModuleSummary]) -> "ProjectModel":
+        model = cls()
+        for summary in summaries:
+            model.modules[summary.name] = summary
+        return model
+
+    def resolved_edges(
+        self, kinds: Sequence[str] = ("module",)
+    ) -> Iterator[tuple[str, str, ImportRecord]]:
+        """Yield (source module, target module, record) import edges.
+
+        Only edges whose target is a module in the model are yielded;
+        guessed submodule records count only when they name a real
+        module.  External imports (numpy, stdlib) never appear.
+        """
+        for name, summary in self.modules.items():
+            for record in summary.imports:
+                if record.kind not in kinds:
+                    continue
+                if record.target in self.modules:
+                    yield name, record.target, record
+
+    def resolve(self, module_name: str, name: str) -> str | None:
+        """Resolve a source-level name in ``module_name`` to dotted form.
+
+        Local classes/functions resolve to ``module.name``; imported
+        names follow the module's bindings; dotted names resolve their
+        first segment and keep the rest.
+        """
+        summary = self.modules.get(module_name)
+        if summary is None:
+            return None
+        head, _, rest = name.partition(".")
+        resolved: str | None = None
+        if head in summary.classes or head in summary.functions:
+            resolved = f"{module_name}.{head}"
+        elif head in summary.bindings:
+            resolved = summary.bindings[head]
+        if resolved is None:
+            return None
+        return f"{resolved}.{rest}" if rest else resolved
+
+    def find_class(self, dotted: str) -> tuple[ModuleSummary, ClassInfo] | None:
+        """Look up ``pkg.module.Class`` by longest module-name prefix."""
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            if len(parts) - split == 1:
+                info = summary.classes.get(parts[split])
+                if info is not None:
+                    return summary, info
+            # A longer prefix matched a module but the remainder is not a
+            # plain class name -- keep trying shorter prefixes.
+        return None
+
+    def resolve_class(
+        self, module_name: str, source_name: str
+    ) -> tuple[ModuleSummary, ClassInfo] | None:
+        """Resolve a class reference as written in ``module_name``."""
+        dotted = self.resolve(module_name, source_name)
+        if dotted is None:
+            return None
+        found = self.find_class(dotted)
+        if found is not None:
+            return found
+        # ``from x import Y`` where Y is re-exported: chase one binding hop.
+        head, _, rest = dotted.rpartition(".")
+        summary = self.modules.get(head)
+        if summary is not None and rest in summary.bindings:
+            return self.find_class(summary.bindings[rest])
+        return None
+
+    def base_chain(
+        self, module_name: str, class_name: str, limit: int = 32
+    ) -> Iterator[tuple[ModuleSummary, ClassInfo]]:
+        """Walk a class's base-class chain through the model (MRO-ish).
+
+        Yields (module, class) pairs starting at the class itself,
+        following first resolvable bases breadth-first, stopping at
+        classes outside the model.
+        """
+        start = self.modules.get(module_name)
+        if start is None:
+            return
+        info = start.classes.get(class_name)
+        if info is None:
+            return
+        queue: list[tuple[ModuleSummary, ClassInfo]] = [(start, info)]
+        seen: set[tuple[str, str]] = set()
+        while queue and limit:
+            limit -= 1
+            summary, current = queue.pop(0)
+            key = (summary.name, current.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield summary, current
+            for base in current.bases:
+                resolved = self.resolve_class(summary.name, base)
+                if resolved is not None:
+                    queue.append(resolved)

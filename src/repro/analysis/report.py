@@ -1,19 +1,27 @@
-"""Rendering of lint findings: text for humans, JSON for CI tooling."""
+"""Rendering of lint findings: text, JSON, and SARIF for code scanning."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis.engine import Finding
+
+#: SARIF schema pinned by the renderer (and validated in the test suite).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding]) -> str:
     """One ``path:line:col: RLxxx message`` line per finding plus a summary."""
     if not findings:
         return "reprolint: no findings"
-    lines = [finding.format() for finding in findings]
+    lines = [
+        finding.format() + (" [warn]" if finding.severity == "warn" else "")
+        for finding in findings
+    ]
     by_rule = Counter(finding.rule_id for finding in findings)
     breakdown = ", ".join(
         f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
@@ -33,8 +41,76 @@ def render_json(findings: Sequence[Finding]) -> str:
                 "col": finding.col,
                 "rule": finding.rule_id,
                 "message": finding.message,
+                "severity": finding.severity,
             }
             for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _rule_catalogue() -> list[dict[str, object]]:
+    """SARIF rule descriptors for every registered rule plus RL000."""
+    from repro.analysis.engine import ProjectRule, Rule
+
+    descriptors: dict[str, str] = {"RL000": "file does not parse"}
+    for rule_id, rule_cls in Rule.registered().items():
+        descriptors[rule_id] = rule_cls.summary
+    for rule_id, project_cls in ProjectRule.registered().items():
+        descriptors[rule_id] = project_cls.summary
+    return [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": summary or rule_id},
+        }
+        for rule_id, summary in sorted(descriptors.items())
+    ]
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 output for GitHub code scanning upload."""
+    rules = _rule_catalogue()
+    rule_index = {str(rule["id"]): i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index.get(finding.rule_id, -1),
+            "level": "warning" if finding.severity == "warn" else "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(finding.path).as_posix(),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2)

@@ -1,8 +1,11 @@
 """Rule plugins for reprolint.
 
 Importing this package registers every rule with
-:class:`repro.analysis.engine.Rule`; the engine discovers them through
-``Rule.registered()``.  Each module holds one check:
+:class:`repro.analysis.engine.Rule` /
+:class:`repro.analysis.engine.ProjectRule`; the engine discovers them
+through ``Rule.registered()`` and ``ProjectRule.registered()``.
+
+Per-file rules (phase 1, one AST at a time):
 
 ========  =============================================  =======================
 Rule id   Module                                         Guards
@@ -14,6 +17,19 @@ RL004     :mod:`repro.analysis.rules.annotations`        public API typing
 RL005     :mod:`repro.analysis.rules.mutable_defaults`   call-to-call isolation
 RL006     :mod:`repro.analysis.rules.print_calls`        output via reporting
 ========  =============================================  =======================
+
+Whole-program rules (phase 2, over the
+:class:`~repro.analysis.project.ProjectModel`):
+
+========  =============================================  =======================
+Rule id   Module                                         Guards
+========  =============================================  =======================
+RL101     :mod:`repro.analysis.rules.architecture`       no import cycles
+RL102     :mod:`repro.analysis.rules.architecture`       layering contract
+RL103     :mod:`repro.analysis.rules.parallel_safety`    golden parallel parity
+RL104     :mod:`repro.analysis.rules.stage_contract`     stage kinds + dataflow
+RL105     :mod:`repro.analysis.rules.seeding`            seed propagation
+========  =============================================  =======================
 """
 
 # NOTE: no ``from __future__ import annotations`` here -- the future
@@ -21,18 +37,26 @@ RL006     :mod:`repro.analysis.rules.print_calls`        output via reporting
 # shadow the submodule import below.
 from repro.analysis.rules import (  # noqa: F401
     annotations,
+    architecture,
     dynamic_exec,
     float_equality,
     mutable_defaults,
+    parallel_safety,
     print_calls,
     randomness,
+    seeding,
+    stage_contract,
 )
 
 __all__ = [
     "annotations",
+    "architecture",
     "dynamic_exec",
     "float_equality",
     "mutable_defaults",
+    "parallel_safety",
     "print_calls",
     "randomness",
+    "seeding",
+    "stage_contract",
 ]

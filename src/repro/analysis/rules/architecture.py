@@ -1,0 +1,179 @@
+"""RL101/RL102 -- import cycles and the architecture contract.
+
+docs/architecture.md promises a layered design: lower layers never
+import higher ones, and ``repro.perf`` / ``repro.pipeline`` /
+``repro.analysis`` are *import-leaf* packages that at module level
+import only numpy and the stdlib.  Until now that held by convention.
+These rules make it machine-checked:
+
+* **RL101** — no module-level import cycles anywhere in the project.
+  Runtime (function-body) imports are the sanctioned escape hatch for
+  deliberate re-entrancy (e.g. ``repro.protocol`` <-> ``repro.core``)
+  and are not edges here; a cycle among *top-level* imports would make
+  module initialisation order-dependent.
+* **RL102** — every module-level import crossing a package boundary
+  must be declared in ``[tool.reprolint.architecture]``.  The table
+  lists, per package unit, which units it may import; ``leaf`` units
+  may only be allowed edges to other leaves (validated here too).  With
+  no table configured the rule is silent.
+
+A *package unit* is the first two dotted segments of a module name
+(``repro.core.linker`` -> ``repro.core``); top-level modules are their
+own unit (``repro.cli``).  ``TYPE_CHECKING``-guarded imports are
+typing-only and exempt from both rules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.project import ImportRecord, ProjectModel
+
+
+def package_unit(module_name: str) -> str:
+    """First two dotted segments: the granularity of the contract."""
+    parts = module_name.split(".")
+    return ".".join(parts[:2])
+
+
+def _strongly_connected(
+    edges: dict[str, set[str]]
+) -> Iterator[list[str]]:
+    """Tarjan's SCC over the import graph (iterative, deterministic)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        # Iterative DFS: (node, iterator over successors).
+        work: list[tuple[str, Iterator[str]]] = []
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(sorted(edges.get(root, ())))))
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                yield component
+
+
+class ImportCycles(ProjectRule):
+    rule_id = "RL101"
+    summary = "no module-level import cycles"
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        edges: dict[str, set[str]] = {name: set() for name in model.modules}
+        records: dict[tuple[str, str], ImportRecord] = {}
+        for source, target, record in model.resolved_edges(("module",)):
+            if source == target:
+                continue  # guessed self-edges from ``from . import x``
+            edges[source].add(target)
+            records.setdefault((source, target), record)
+        for component in _strongly_connected(edges):
+            if len(component) < 2:
+                continue
+            members = sorted(component)
+            anchor = members[0]
+            in_cycle = set(component)
+            record = next(
+                records[(anchor, target)]
+                for target in sorted(edges[anchor])
+                if target in in_cycle
+            )
+            summary = model.modules[anchor]
+            yield self.finding(
+                summary.path,
+                record.lineno,
+                record.col,
+                "module-level import cycle among "
+                f"{', '.join(members)}; break one edge with a runtime "
+                "(function-body) import",
+            )
+
+
+class ArchitectureContract(ProjectRule):
+    rule_id = "RL102"
+    summary = "module-level imports must follow the architecture contract"
+    default_exclude = ("tests/*", "test_*.py", "conftest.py")
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        contract = config.architecture
+        if not contract.present:
+            return
+        # Contract self-consistency: a leaf may only depend on leaves.
+        leaves = set(contract.leaf)
+        for leaf in sorted(leaves):
+            for target in contract.allowed.get(leaf, ()):
+                if target not in leaves:
+                    yield self.finding(
+                        "pyproject.toml",
+                        1,
+                        1,
+                        f"[tool.reprolint.architecture] declares leaf "
+                        f"`{leaf}` but allows it to import non-leaf "
+                        f"`{target}`",
+                    )
+        # Only modules under the contract's top-level packages are held
+        # to it; unrelated trees (tests, scripts) pass through.
+        tops = {unit.split(".")[0] for unit in contract.allowed}
+        tops.update(leaf.split(".")[0] for leaf in leaves)
+        for source, target, record in model.resolved_edges(("module",)):
+            source_unit = package_unit(source)
+            target_unit = package_unit(target)
+            if source_unit == target_unit:
+                continue
+            if source_unit.split(".")[0] not in tops:
+                continue
+            if target_unit in contract.allowed.get(source_unit, ()):
+                continue
+            summary = model.modules[source]
+            leaf_note = (
+                " (import-leaf package: move the import into the function "
+                "that needs it)"
+                if source_unit in leaves
+                else ""
+            )
+            yield self.finding(
+                summary.path,
+                record.lineno,
+                record.col,
+                f"`{source}` imports `{target}` at module level, but the "
+                f"architecture contract allows `{source_unit}` no edge to "
+                f"`{target_unit}`{leaf_note}",
+            )

@@ -1,0 +1,130 @@
+"""RL103 -- parallel workers must be pure(ish) and deterministically seeded.
+
+``repro.perf.parallel_map`` runs its callable in worker *processes*
+(or threads, or inline for ``n_jobs=1``) with the golden-parity
+guarantee that every configuration is byte-identical.  That only holds
+when the worker
+
+* does not mutate state it does not own — a closure/module-level list
+  or dict mutated from a worker mutates a *copy* in the process pool
+  and the real object inline, silently diverging between configurations;
+* draws no unseeded randomness — per-process RNG state would make
+  results depend on the fan-out.
+
+This rule resolves the ``fn`` handed to each ``parallel_map`` call site
+through the project model (same module or across an import) and flags
+``global``/``nonlocal`` declarations, in-place mutation of non-local
+names, and unseeded RNG calls in the worker body.  The ``initializer``
+callable is exempt from the mutation check — pinning read-only state
+into a module global before the first chunk is exactly its documented
+job — but its randomness is still checked.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.project import (
+    CallableRef,
+    FunctionInfo,
+    ModuleSummary,
+    ProjectModel,
+)
+
+
+def _resolve_callable(
+    model: ProjectModel, module: ModuleSummary, ref: CallableRef
+) -> tuple[ModuleSummary, FunctionInfo] | None:
+    """Find the summary of the function a callable reference names."""
+    if ref.kind == "inline" and ref.inline is not None:
+        return module, ref.inline
+    if ref.kind != "name":
+        return None
+    dotted = model.resolve(module.name, ref.name)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        owner = model.modules.get(".".join(parts[:split]))
+        if owner is None:
+            continue
+        info = owner.functions.get(".".join(parts[split:]))
+        if info is not None:
+            return owner, info
+    return None
+
+
+class ParallelWorkerSafety(ProjectRule):
+    rule_id = "RL103"
+    summary = "parallel_map workers must not mutate shared state or draw entropy"
+    default_exclude = ("tests/*", "test_*.py", "conftest.py")
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        for module in model.modules.values():
+            for call in module.parallel_calls:
+                if call.worker is not None:
+                    resolved = _resolve_callable(model, module, call.worker)
+                    if resolved is not None:
+                        yield from self._check_worker(*resolved)
+                if call.initializer is not None:
+                    resolved = _resolve_callable(
+                        model, module, call.initializer
+                    )
+                    if resolved is not None:
+                        yield from self._check_initializer(*resolved)
+
+    def _check_worker(
+        self, owner: ModuleSummary, info: FunctionInfo
+    ) -> Iterable[Finding]:
+        for name in sorted(set(info.global_decls)):
+            yield self.finding(
+                owner.path,
+                info.lineno,
+                info.col,
+                f"parallel worker `{info.qualname}` declares `global {name}`; "
+                "workers run in separate processes, so the write never "
+                "reaches the parent (return the value instead)",
+            )
+        seen: set[str] = set()
+        for name, lineno in info.mutations:
+            if name in seen:
+                continue
+            seen.add(name)
+            yield self.finding(
+                owner.path,
+                int(lineno),
+                1,
+                f"parallel worker `{info.qualname}` mutates non-local "
+                f"`{name}`; per-process copies diverge from the n_jobs=1 "
+                "path (accumulate locally and merge in the caller)",
+            )
+        yield from self._check_rng(owner, info, "worker")
+
+    def _check_initializer(
+        self, owner: ModuleSummary, info: FunctionInfo
+    ) -> Iterable[Finding]:
+        # Initializers exist to pin module-global read-only state, so
+        # mutation is their job; randomness is still non-deterministic.
+        yield from self._check_rng(owner, info, "initializer")
+
+    def _check_rng(
+        self, owner: ModuleSummary, info: FunctionInfo, role: str
+    ) -> Iterable[Finding]:
+        for call in info.rng_calls:
+            what = (
+                "process-global RNG state"
+                if call.global_state
+                else "an unseeded RNG"
+            )
+            yield self.finding(
+                owner.path,
+                call.lineno,
+                call.col,
+                f"parallel {role} `{info.qualname}` draws from {what} "
+                f"(`{call.name}`); results would depend on the process "
+                "fan-out — thread an explicit seed through the task payload",
+            )

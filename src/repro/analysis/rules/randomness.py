@@ -21,44 +21,22 @@ seeding to the caller.
 from __future__ import annotations
 
 import ast
-import re
 from collections.abc import Iterable
 
 from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.rngpatterns import (
+    NUMPY_GLOBAL_RNG,
+    RNG_CONSTRUCTORS,
+    STDLIB_GLOBAL_RNG,
+    has_seed_argument,
+)
 from repro.analysis.rules.common import dotted_name
 
-# stdlib ``random`` functions drawing from the hidden module-global state.
-_STDLIB_GLOBAL = re.compile(
-    r"^random\.(random|randint|randrange|getrandbits|choice|choices|shuffle|"
-    r"sample|uniform|triangular|gauss|normalvariate|lognormvariate|"
-    r"expovariate|betavariate|gammavariate|paretovariate|weibullvariate|"
-    r"vonmisesvariate|seed)$"
-)
-
-# numpy legacy API drawing from the global ``RandomState`` singleton.
-_NUMPY_GLOBAL = re.compile(
-    r"^(np|numpy)\.random\.(rand|randn|randint|random|random_sample|ranf|"
-    r"sample|bytes|choice|shuffle|permutation|uniform|normal|standard_normal|"
-    r"binomial|poisson|beta|gamma|exponential|geometric|seed)$"
-)
-
-# Constructors that take entropy from the OS when no seed is given.
-_NEEDS_SEED = re.compile(
-    r"^((np|numpy)\.random\.)?(default_rng|RandomState)$|^random\.Random$"
-)
-
-
-def _has_seed_argument(node: ast.Call) -> bool:
-    if node.args:
-        first = node.args[0]
-        return not (isinstance(first, ast.Constant) and first.value is None)
-    for keyword in node.keywords:
-        if keyword.arg == "seed" or keyword.arg is None:  # **kwargs may carry it
-            return not (
-                isinstance(keyword.value, ast.Constant)
-                and keyword.value.value is None
-            )
-    return False
+# Shared with the whole-program extractor (RL103/RL105); see rngpatterns.
+_STDLIB_GLOBAL = STDLIB_GLOBAL_RNG
+_NUMPY_GLOBAL = NUMPY_GLOBAL_RNG
+_NEEDS_SEED = RNG_CONSTRUCTORS
+_has_seed_argument = has_seed_argument
 
 
 class UnseededRandomness(Rule):

@@ -1,0 +1,57 @@
+"""RL105 -- seeds flow in through parameters, not buried literals.
+
+RL001 already rejects *unseeded* RNG construction.  This rule closes
+the complementary hole: a function body that calls
+``np.random.default_rng(42)`` (or ``random.Random(7)``,
+``RandomState(0)``) with a hard-coded literal is "reproducible" but
+unconfigurable — the experiment runner cannot vary trials with
+``base_seed + i``, and two call sites silently share one stream.
+Library functions must receive their seed as a parameter, a ``*Config``
+dataclass field, or any other expression the caller controls; literal
+seeds belong in defaults, configs, examples and tests.
+
+Module-level constructions are left alone (a module-constant generator
+is already a global-state smell RL001-adjacent reviews catch) and so is
+every non-literal seed source: names, attributes
+(``self.seed``, ``config.seed``) and computed expressions all show the
+seed came from outside the body.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.project import ProjectModel
+
+
+class SeedPropagation(ProjectRule):
+    rule_id = "RL105"
+    summary = "RNG seeds must come from parameters or config, not body literals"
+    default_exclude = (
+        "tests/*",
+        "test_*.py",
+        "conftest.py",
+        "examples/*",
+        "benchmarks/*",
+    )
+
+    def check_project(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        for module in model.modules.values():
+            for construction in module.rng_constructions:
+                if construction.scope == "<module>":
+                    continue
+                if construction.seed_kind != "literal":
+                    continue
+                yield self.finding(
+                    module.path,
+                    construction.lineno,
+                    construction.col,
+                    f"`{construction.name}({construction.seed_repr})` in "
+                    f"`{construction.scope}` hard-codes its seed; accept it "
+                    "as a parameter or a Config field so callers control "
+                    "the stream",
+                )

@@ -85,7 +85,7 @@ class BfHLinker:
         bloom_hashes: int = DEFAULT_BLOOM_HASHES,
         scheme: QGramScheme | None = None,
         seed: int | None = None,
-    ):
+    ) -> None:
         if not attribute_thresholds:
             raise ValueError("attribute_thresholds must be non-empty")
         self.encoder = BloomRecordEncoder(

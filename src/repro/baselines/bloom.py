@@ -56,7 +56,7 @@ class BloomFieldEncoder:
         n_bits: int = DEFAULT_BLOOM_BITS,
         n_hashes: int = DEFAULT_BLOOM_HASHES,
         scheme: QGramScheme | None = None,
-    ):
+    ) -> None:
         if n_bits < 1:
             raise ValueError(f"n_bits must be >= 1, got {n_bits}")
         if n_hashes < 1:
@@ -103,7 +103,7 @@ class BloomRecordEncoder:
         n_bits: int = DEFAULT_BLOOM_BITS,
         n_hashes: int = DEFAULT_BLOOM_HASHES,
         scheme: QGramScheme | None = None,
-    ):
+    ) -> None:
         if n_attributes < 1:
             raise ValueError(f"n_attributes must be >= 1, got {n_attributes}")
         if names is None:
@@ -167,7 +167,7 @@ class BloomRecordEncoder:
 class BloomEmbedStage(EmbedStage):
     """Embed both datasets with a pre-built :class:`BloomRecordEncoder`."""
 
-    def __init__(self, encoder: BloomRecordEncoder):
+    def __init__(self, encoder: BloomRecordEncoder) -> None:
         self.encoder = encoder
 
     def run(self, ctx: PipelineContext) -> None:

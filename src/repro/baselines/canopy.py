@@ -48,7 +48,7 @@ class CanopyEmbedStage(SampledCalibrationEmbedStage):
 class _CanopyBlockStage(BlockStage):
     """Seed canopies over the pooled records; cross-dataset co-members pair."""
 
-    def __init__(self, linker: "CanopyLinker"):
+    def __init__(self, linker: "CanopyLinker") -> None:
         self.linker = linker
 
     def run(self, ctx: PipelineContext) -> None:
@@ -110,7 +110,7 @@ class CanopyLinker:
         scheme: QGramScheme | None = None,
         seed: int | None = None,
         parallel: ParallelConfig | None = None,
-    ):
+    ) -> None:
         if not 0.0 <= tight <= loose <= 1.0:
             raise ValueError(
                 f"need 0 <= tight <= loose <= 1, got tight={tight}, loose={loose}"

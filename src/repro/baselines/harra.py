@@ -41,7 +41,7 @@ from repro.text.alphabet import TEXT_ALPHABET
 class _HarraMatchStage(VerifyStage):
     """h-CC's fused candidate/verify iteration over the blocking groups."""
 
-    def __init__(self, linker: "HarraLinker"):
+    def __init__(self, linker: "HarraLinker") -> None:
         self.linker = linker
 
     def run(self, ctx: PipelineContext) -> None:
@@ -125,7 +125,7 @@ class HarraLinker:
         early_pruning: bool = True,
         permutation_prefix: float | None = 0.02,
         seed: int | None = None,
-    ):
+    ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"Jaccard distance threshold must be in [0, 1], got {threshold}")
         self.threshold = threshold

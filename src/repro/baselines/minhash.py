@@ -71,7 +71,7 @@ class MinHasher:
         seed: int | None = None,
         p: int = HASH_PRIME,
         prefix_fraction: float | None = None,
-    ):
+    ) -> None:
         if n_hashes < 1:
             raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
         if prefix_fraction is not None and not 0.0 < prefix_fraction <= 1.0:
@@ -132,7 +132,7 @@ class MinHashLSH:
         n_tables: int,
         seed: int | None = None,
         prefix_fraction: float | None = None,
-    ):
+    ) -> None:
         if k < 1 or n_tables < 1:
             raise ValueError(f"K and L must be >= 1, got K={k}, L={n_tables}")
         self.k = k
@@ -169,7 +169,7 @@ class BigramSetEmbedStage(EmbedStage):
     verify stages.
     """
 
-    def __init__(self, scheme: QGramScheme):
+    def __init__(self, scheme: QGramScheme) -> None:
         self.scheme = scheme
 
     def run(self, ctx: PipelineContext) -> None:
@@ -186,7 +186,7 @@ class MinHashIndexStage(BlockStage):
         n_tables: int,
         seed: int | None = None,
         prefix_fraction: float | None = None,
-    ):
+    ) -> None:
         self.k = k
         self.n_tables = n_tables
         self.seed = seed
@@ -234,7 +234,7 @@ class MinHashCandidateStage(CandidateStage):
 class JaccardVerifyStage(VerifyStage):
     """Filter candidates by exact Jaccard distance of their bigram sets."""
 
-    def __init__(self, threshold: float):
+    def __init__(self, threshold: float) -> None:
         self.threshold = threshold
 
     def run(self, ctx: PipelineContext) -> None:
@@ -284,7 +284,7 @@ class MinHashLinker:
         scheme: QGramScheme | None = None,
         prefix_fraction: float | None = None,
         seed: int | None = None,
-    ):
+    ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"Jaccard distance threshold must be in [0, 1], got {threshold}")
         self.threshold = threshold

@@ -84,7 +84,7 @@ class EuclideanLSH:
         n_tables: int | None = None,
         w: float = DEFAULT_BUCKET_WIDTH,
         seed: int | None = None,
-    ):
+    ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
         if k < 1:

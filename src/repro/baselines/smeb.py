@@ -63,7 +63,7 @@ class SMEBLinker:
         max_tables: int = 250,
         pivot_sample: int = 50,
         seed: int | None = None,
-    ):
+    ) -> None:
         if not attribute_thresholds:
             raise ValueError("attribute_thresholds must be non-empty")
         if n_attributes < 1:

@@ -40,7 +40,7 @@ def default_sorting_key(values: Sequence[str], prefix: int = 3) -> str:
 class _WindowBlockStage(BlockStage):
     """Multi-pass sorted windows over the merged, key-sorted record stream."""
 
-    def __init__(self, linker: "SortedNeighborhoodLinker"):
+    def __init__(self, linker: "SortedNeighborhoodLinker") -> None:
         self.linker = linker
 
     def run(self, ctx: PipelineContext) -> None:
@@ -106,7 +106,7 @@ class SortedNeighborhoodLinker:
         scheme: QGramScheme | None = None,
         seed: int | None = None,
         parallel: ParallelConfig | None = None,
-    ):
+    ) -> None:
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
         if passes < 1:

@@ -46,7 +46,7 @@ class StringMapEmbedder:
         pivot_sample: int = 50,
         pivot_iterations: int = 2,
         seed: int | None = None,
-    ):
+    ) -> None:
         if d < 1:
             raise ValueError(f"d must be >= 1, got {d}")
         self.d = d
@@ -175,7 +175,7 @@ class StringMapEmbedStage(EmbedStage):
         d: int,
         pivot_sample: int,
         seeds: Sequence[Any],
-    ):
+    ) -> None:
         if len(seeds) != n_attributes:
             raise ValueError(f"{len(seeds)} seeds for {n_attributes} attributes")
         self.n_attributes = n_attributes

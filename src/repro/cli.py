@@ -97,7 +97,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_seed(link)
 
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis pass (RL001-RL006)"
+        "lint",
+        help="run the reprolint static-analysis pass (RL001-RL006, RL101-RL105)",
     )
     _build_lint_parser(lint)
 

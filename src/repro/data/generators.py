@@ -52,7 +52,7 @@ DBLP_SCHEMA = Schema(
 class _WeightedWords:
     """A word list with sampling weights tilted to a target mean length."""
 
-    def __init__(self, words: tuple[str, ...], target_mean_length: float | None = None):
+    def __init__(self, words: tuple[str, ...], target_mean_length: float | None = None) -> None:
         self.words = words
         if target_mean_length is None:
             self.weights = None
@@ -97,7 +97,7 @@ class NCVRGenerator:
 
     def __init__(
         self, profile: GeneratorProfile = NCVR_PROFILE, household_rate: float = 0.3
-    ):
+    ) -> None:
         if not 0.0 <= household_rate < 1.0:
             raise ValueError(f"household_rate must be in [0, 1), got {household_rate}")
         self.profile = profile
@@ -157,7 +157,7 @@ class DBLPGenerator:
 
     def __init__(
         self, profile: GeneratorProfile = DBLP_PROFILE, coauthor_rate: float = 0.25
-    ):
+    ) -> None:
         if not 0.0 <= coauthor_rate < 1.0:
             raise ValueError(f"coauthor_rate must be in [0, 1), got {coauthor_rate}")
         self.profile = profile

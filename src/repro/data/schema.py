@@ -101,7 +101,7 @@ class Record:
 class Dataset:
     """An ordered collection of records under a shared schema."""
 
-    def __init__(self, schema: Schema, records: Iterable[Record], name: str = ""):
+    def __init__(self, schema: Schema, records: Iterable[Record], name: str = "") -> None:
         self.schema = schema
         self.records: list[Record] = list(records)
         self.name = name

@@ -9,6 +9,7 @@ classic precision/recall presentation of linkage quality.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,7 +41,7 @@ class ThresholdCurve:
 
     points: tuple[ThresholdPoint, ...]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ThresholdPoint]:
         return iter(self.points)
 
     def __len__(self) -> int:

@@ -4,6 +4,9 @@ Each RL00x rule gets at least one positive fixture (snippet that must
 trigger it) and one negative fixture (snippet that must stay clean),
 plus suppression coverage and a self-hosting test asserting the repo's
 own ``src/`` tree lints clean with the shipped pyproject configuration.
+(The whole-program rules RL101-RL105 are covered in
+test_project_lint.py; here they only appear through the CLI surface:
+severity, baseline, cache, SARIF.)
 """
 
 import json
@@ -19,10 +22,13 @@ from repro.analysis import (
     lint_paths,
     load_config,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.__main__ import main as lint_main
+from repro.analysis.cache import LintCache, config_fingerprint
 from repro.analysis.config import RuleConfig
+from repro.analysis.engine import all_rule_ids
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -324,6 +330,320 @@ class TestCommandLine:
 
         assert main(["lint", str(REPO_ROOT / "src")]) == 0
         assert "no findings" in capsys.readouterr().out
+
+
+def _fresh_cache(tmp_path, config, name="cache.json"):
+    fingerprint = config_fingerprint(config, sorted(all_rule_ids()))
+    return LintCache.load(tmp_path / name, fingerprint)
+
+
+class TestDeterminism:
+    """lint_paths output is sorted and deduplicated (satellite 1)."""
+
+    def _tree(self, tmp_path):
+        (tmp_path / "b_mod.py").write_text("x = eval('1')\n")
+        (tmp_path / "a_mod.py").write_text("print('x')\ny = eval('2')\n")
+        return tmp_path
+
+    def test_sorted_by_path_line_col_rule(self, tmp_path):
+        tree = self._tree(tmp_path)
+        findings = lint_paths([tree], LintConfig())
+        keys = [(f.path, f.line, f.col, f.rule_id) for f in findings]
+        assert keys == sorted(keys)
+        assert [f.rule_id for f in findings] == ["RL006", "RL002", "RL002"]
+
+    def test_argument_order_does_not_matter(self, tmp_path):
+        tree = self._tree(tmp_path)
+        a, b = tree / "a_mod.py", tree / "b_mod.py"
+        assert lint_paths([a, b], LintConfig()) == lint_paths([b, a], LintConfig())
+
+    def test_overlapping_paths_deduplicate(self, tmp_path):
+        tree = self._tree(tmp_path)
+        once = lint_paths([tree], LintConfig())
+        twice = lint_paths([tree, tree / "a_mod.py", tree], LintConfig())
+        assert twice == once
+
+
+class TestWithOverrides:
+    """CLI --select/--ignore precedence over pyproject (satellite 4)."""
+
+    BASE = LintConfig(
+        select=("RL001", "RL002"),
+        ignore=("RL006",),
+        exclude=("build/*",),
+        rule_configs={"RL003": RuleConfig(include=("hamming/*",))},
+    )
+
+    def test_select_overrides_file_select(self):
+        assert self.BASE.with_overrides(select=["RL004"]).select == ("RL004",)
+
+    def test_empty_select_keeps_file_select(self):
+        assert self.BASE.with_overrides(select=[]).select == ("RL001", "RL002")
+        assert self.BASE.with_overrides().select == ("RL001", "RL002")
+
+    def test_ignore_overrides_file_ignore(self):
+        assert self.BASE.with_overrides(ignore=["RL002"]).ignore == ("RL002",)
+
+    def test_empty_ignore_keeps_file_ignore(self):
+        assert self.BASE.with_overrides(ignore=[]).ignore == ("RL006",)
+        assert self.BASE.with_overrides(ignore=None).ignore == ("RL006",)
+
+    def test_scoping_and_exclude_survive_overrides(self):
+        derived = self.BASE.with_overrides(select=["RL003"], ignore=["RL001"])
+        assert derived.exclude == ("build/*",)
+        assert derived.rule_configs["RL003"].include == ("hamming/*",)
+
+
+class TestRuleGlobScoping:
+    """Per-rule include/exclude glob semantics (satellite 4)."""
+
+    def test_include_is_suffix_matched(self):
+        config = LintConfig(rule_configs={"RL002": RuleConfig(include=("hamming/*",))})
+        engine = LintEngine(config)
+        assert rule_ids(engine.lint_source(SCOPED, "x = eval('1')\n")) == ["RL002"]
+        assert engine.lint_source(UNSCOPED, "x = eval('1')\n") == []
+
+    def test_configured_include_replaces_rule_default(self):
+        # RL003's default include covers hamming/*; narrowing it to
+        # core/sizing.py must switch hamming off.
+        config = LintConfig(rule_configs={"RL003": RuleConfig(include=("core/sizing.py",))})
+        engine = LintEngine(config)
+        assert engine.lint_source(SCOPED, "ok = p == 0.5\n") == []
+        assert rule_ids(
+            engine.lint_source("src/repro/core/sizing.py", "ok = p == 0.5\n")
+        ) == ["RL003"]
+
+    def test_exclude_beats_include(self):
+        config = LintConfig(
+            rule_configs={
+                "RL002": RuleConfig(include=("hamming/*",), exclude=("*/fixture.py",))
+            }
+        )
+        engine = LintEngine(config)
+        assert engine.lint_source(SCOPED, "x = eval('1')\n") == []
+
+    def test_exact_file_glob(self):
+        config = LintConfig(rule_configs={"RL002": RuleConfig(exclude=("hamming/fixture.py",))})
+        engine = LintEngine(config)
+        assert engine.lint_source(SCOPED, "x = eval('1')\n") == []
+        assert rule_ids(
+            engine.lint_source("src/repro/hamming/other.py", "x = eval('1')\n")
+        ) == ["RL002"]
+
+
+class TestSeverity:
+    def test_default_severity_is_error(self, engine):
+        findings = engine.lint_source(SCOPED, "x = eval('1')\n")
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_config_downgrades_to_warn(self):
+        config = LintConfig(rule_configs={"RL002": RuleConfig(severity="warn")})
+        findings = LintEngine(config).lint_source(SCOPED, "x = eval('1')\n")
+        assert [f.severity for f in findings] == ["warn"]
+
+    def test_warn_marker_in_text_output(self):
+        config = LintConfig(rule_configs={"RL002": RuleConfig(severity="warn")})
+        findings = LintEngine(config).lint_source(SCOPED, "x = eval('1')\n")
+        assert "[warn]" in render_text(findings)
+
+    def test_warn_only_run_exits_zero(self, tmp_path, capsys, monkeypatch):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = eval('1')\n")
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.reprolint.rules.RL002]\nseverity = \"warn\"\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([str(target), "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "RL002" in out and "[warn]" in out
+
+    def test_severity_survives_json(self):
+        config = LintConfig(rule_configs={"RL002": RuleConfig(severity="warn")})
+        findings = LintEngine(config).lint_source(SCOPED, "x = eval('1')\n")
+        payload = json.loads(render_json(findings))
+        assert payload["findings"][0]["severity"] == "warn"
+
+
+class TestBaseline:
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = eval('1')\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(target), "--no-cache", "--write-baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert lint_main(
+            [str(target), "--no-cache", "--baseline", str(baseline)]
+        ) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_new_findings_still_fail(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = eval('1')\n")
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(target), "--no-cache", "--write-baseline", str(baseline)])
+        # Baseline keys are (path, rule, message) -- a second eval() in the
+        # same file is the same accepted debt, so introduce a new rule hit.
+        target.write_text("x = eval('1')\nprint('x')\n")
+        capsys.readouterr()
+        assert lint_main(
+            [str(target), "--no-cache", "--baseline", str(baseline)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "1 finding" in out
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X: int = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{\"not\": \"a baseline\"}")
+        assert lint_main(
+            [str(target), "--no-cache", "--baseline", str(baseline)]
+        ) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestSarifOutput:
+    def _findings(self):
+        config = LintConfig(rule_configs={"RL006": RuleConfig(severity="warn")})
+        return LintEngine(config).lint_source(SCOPED, "print(eval('1'))\n")
+
+    def test_sarif_validates_against_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(
+            (REPO_ROOT / "tests" / "data" / "sarif-2.1.0-subset.json").read_text()
+        )
+        payload = json.loads(render_sarif(self._findings()))
+        jsonschema.validate(payload, schema)
+
+    def test_empty_run_also_validates(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(
+            (REPO_ROOT / "tests" / "data" / "sarif-2.1.0-subset.json").read_text()
+        )
+        jsonschema.validate(json.loads(render_sarif([])), schema)
+
+    def test_result_fields(self):
+        payload = json.loads(render_sarif(self._findings()))
+        run = payload["runs"][0]
+        assert payload["version"] == "2.1.0"
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {"RL002": "error", "RL006": "warning"}
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == SCOPED
+        assert location["region"]["startLine"] == 1
+        catalogue = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert catalogue[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = eval('1')\n")
+        assert lint_main([str(target), "--no-cache", "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"][0]["ruleId"] == "RL002"
+
+
+class TestIncrementalCache:
+    def test_warm_run_skips_parsing(self, tmp_path):
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        (tmp_path / "two.py").write_text("X: int = 1\n")
+        config = LintConfig()
+        cold_stats, warm_stats = {}, {}
+        cold = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=cold_stats
+        )
+        warm = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=warm_stats
+        )
+        assert warm == cold
+        assert cold_stats["parsed"] == 2 and cold_stats["cache_hits"] == 0
+        assert warm_stats["parsed"] == 0 and warm_stats["cache_hits"] == 2
+        assert cold_stats["project_runs"] == 1 and warm_stats["project_runs"] == 0
+
+    def test_edited_file_reparsed_alone(self, tmp_path):
+        one, two = tmp_path / "one.py", tmp_path / "two.py"
+        one.write_text("x = eval('1')\n")
+        two.write_text("X: int = 1\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        one.write_text("x = eval('2')\n")
+        stats = {}
+        findings = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 1
+        assert [f.rule_id for f in findings] == ["RL002"]
+
+    def test_comment_edit_skips_project_phase(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("X: int = 1\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        # Re-hash the file without changing its module summary: the
+        # per-file entry misses, but the whole-program key is unchanged.
+        target.write_text("# a comment\nX: int = 1\n")
+        stats = {}
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats)
+        assert stats["parsed"] == 1
+        assert stats["project_runs"] == 0
+
+    def test_import_graph_change_reruns_project_phase(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("X: int = 1\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        target.write_text("import json\nX: int = 1\n")
+        stats = {}
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats)
+        assert stats["project_runs"] == 1
+
+    def test_config_change_invalidates_cache(self, tmp_path):
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        narrowed = LintConfig(select=("RL006",))
+        stats = {}
+        findings = lint_paths(
+            [tmp_path], narrowed, cache=_fresh_cache(tmp_path, narrowed), stats=stats
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 0
+        assert findings == []
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        (tmp_path / "cache.json").write_text("{broken json")
+        config = LintConfig()
+        stats = {}
+        findings = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats
+        )
+        assert stats["parsed"] == 1
+        assert [f.rule_id for f in findings] == ["RL002"]
+
+    def test_cli_no_cache_flag(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = eval('1')\n")
+        cache_path = tmp_path / "cache.json"
+        assert lint_main([str(target), "--cache-path", str(cache_path)]) == 1
+        assert cache_path.exists()
+        capsys.readouterr()
+        other = tmp_path / "nocache.json"
+        assert lint_main([str(target), "--no-cache", "--cache-path", str(other)]) == 1
+        assert not other.exists()
+
+    def test_cli_stats_flag(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X: int = 1\n")
+        cache_path = tmp_path / "cache.json"
+        lint_main([str(target), "--cache-path", str(cache_path), "--stats"])
+        capsys.readouterr()
+        lint_main([str(target), "--cache-path", str(cache_path), "--stats"])
+        err = capsys.readouterr().err
+        assert "1 cache hit(s)" in err
 
 
 class TestSelfHosting:
