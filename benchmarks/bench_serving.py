@@ -1,0 +1,277 @@
+"""Snapshot serving benchmark: build-once amortisation + query throughput.
+
+Times the serving story of ``repro.serve`` on the NCVR PL cell at
+``REPRO_BENCH_SCALE`` and writes ``BENCH_serving.json`` at the repo root:
+
+* **build vs load** — indexing the reference dataset from scratch
+  (embed + index) against attaching the persisted snapshot bundle
+  zero-copy (``numpy.load(..., mmap_mode="r")``).  The ratio is the
+  amortisation argument for persisting at all.
+* **query throughput** — QPS and p50/p95/p99 per-call latency of
+  ``QueryEngine.query_batch`` for batch sizes {1, 64, 1024} at
+  ``n_jobs`` in {1, 4}; batching must beat the per-call overhead of
+  single-record querying by a wide margin.
+* **invariance** — the full query stream answered by the mmap engine at
+  ``n_jobs`` 1 and 4 and by a freshly rebuilt in-memory engine must be
+  byte-identical (same ``(query, id, distance)`` arrays).
+
+``--check`` exits non-zero when batching fails to reach 5x the batch-1
+QPS, when any configuration disagrees, or — at full scale — when the
+cold load is not at least 10x faster than rebuilding (the CI
+serving-smoke gate runs ``--check --tiny``, which skips the load-ratio
+gate: at smoke scale both sides are timer noise).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import scaled
+
+from repro.core.linker import CompactHammingLinker
+from repro.core.persist import load_index_snapshot
+from repro.core.qgram import clear_index_set_cache
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.evaluation.reporting import banner, format_table
+from repro.hamming.lsh import HammingLSH
+from repro.perf import ParallelConfig
+from repro.serve import QueryEngine
+
+#: Serving amortisation is a scale story — the reference side of a
+#: deployment is large, so this benchmark defaults to 10x the linkage
+#: benchmarks' problem size (still seconds end-to-end).
+BASE_N = 20000
+TINY_N = 300
+SEED = 7
+THRESHOLD = 4
+K = 30
+BATCH_SIZES = (1, 64, 1024)
+JOBS = (1, 4)
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+#: Gates (see module docstring).
+MIN_BATCH_SPEEDUP = 5.0
+MIN_LOAD_SPEEDUP = 10.0
+
+
+def _percentiles(samples):
+    values = np.asarray(samples, dtype=np.float64)
+    return {
+        "p50_ms": float(np.percentile(values, 50) * 1e3),
+        "p95_ms": float(np.percentile(values, 95) * 1e3),
+        "p99_ms": float(np.percentile(values, 99) * 1e3),
+    }
+
+
+def _time_rebuild(rows_a, encoder, repeats):
+    """Best-of-N *cold* rebuild: embed dataset A and index it from scratch.
+
+    The q-gram cache is cleared per repetition — a process that has to
+    rebuild its index has not embedded these strings before, and that is
+    the cost the snapshot load replaces.
+    """
+    best = float("inf")
+    for __ in range(repeats):
+        clear_index_set_cache()
+        start = time.perf_counter()
+        matrix = encoder.encode_dataset(rows_a)
+        lsh = HammingLSH(
+            n_bits=encoder.total_bits, k=K, threshold=THRESHOLD, seed=SEED
+        )
+        lsh.index(matrix)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_load(bundle, repeats):
+    """Best-of-N cold attach of the snapshot bundle (mmap, zero-copy)."""
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        load_index_snapshot(bundle)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _batches(rows, batch_size, n_calls):
+    """Deterministic query batches cycled from the query stream."""
+    out = []
+    cursor = 0
+    for __ in range(n_calls):
+        batch = [rows[(cursor + i) % len(rows)] for i in range(batch_size)]
+        out.append(batch)
+        cursor = (cursor + batch_size) % len(rows)
+    return out
+
+
+def _measure_throughput(engine, rows, batch_size, n_calls):
+    """Per-call latencies + aggregate QPS for one (engine, batch) cell."""
+    batches = _batches(rows, batch_size, n_calls)
+    engine.query_batch(batches[0])  # warm up (worker pools, page cache)
+    samples = []
+    total_queries = 0
+    started = time.perf_counter()
+    for batch in batches:
+        call_start = time.perf_counter()
+        engine.query_batch(batch)
+        samples.append(time.perf_counter() - call_start)
+        total_queries += len(batch)
+    elapsed = time.perf_counter() - started
+    cell = {
+        "batch_size": batch_size,
+        "n_calls": n_calls,
+        "qps": total_queries / elapsed if elapsed > 0 else float("inf"),
+        **_percentiles(samples),
+    }
+    return cell
+
+
+def _result_arrays(engine, rows):
+    result = engine.query_batch(rows)
+    return result.queries, result.ids, result.distances
+
+
+def _identical(left, right):
+    return all(np.array_equal(a, b) for a, b in zip(left, right))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when a serving gate fails (CI serving-smoke)",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke scale: small problem, few repeats, no load-ratio gate",
+    )
+    args = parser.parse_args(argv)
+
+    n = TINY_N if args.tiny else scaled(BASE_N)
+    repeats = 3
+    calls_per_batch = {1: 30, 64: 8, 1024: 3} if args.tiny else {1: 200, 64: 30, 1024: 5}
+
+    prob = build_linkage_problem(NCVRGenerator(), n, scheme_pl(), seed=SEED)
+    rows_a = [tuple(r) for r in prob.dataset_a.value_rows()]
+    rows_b = [tuple(r) for r in prob.dataset_b.value_rows()]
+
+    linker = CompactHammingLinker.record_level(threshold=THRESHOLD, k=K, seed=SEED)
+    encoder = linker.calibrate(prob.dataset_a, prob.dataset_b)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        memory_engine = QueryEngine.build(
+            rows_a, encoder, threshold=THRESHOLD, k=K, seed=SEED
+        )
+        start = time.perf_counter()
+        bundle = memory_engine.save(tmp + "/idx")
+        save_s = time.perf_counter() - start
+
+        rebuild_s = _time_rebuild(rows_a, encoder, repeats)
+        load_s = _time_load(bundle, repeats)
+        load_speedup = rebuild_s / load_s if load_s > 0 else float("inf")
+
+        throughput = []
+        for n_jobs in JOBS:
+            engine = QueryEngine.from_snapshot(
+                bundle, parallel=ParallelConfig(n_jobs=n_jobs)
+            )
+            for batch_size in BATCH_SIZES:
+                cell = _measure_throughput(
+                    engine, rows_b, batch_size, calls_per_batch[batch_size]
+                )
+                cell["n_jobs"] = n_jobs
+                throughput.append(cell)
+
+        reference = _result_arrays(memory_engine, rows_b)
+        identical = {}
+        for n_jobs in JOBS:
+            engine = QueryEngine.from_snapshot(
+                bundle, parallel=ParallelConfig(n_jobs=n_jobs)
+            )
+            identical[f"mmap_jobs{n_jobs}"] = _identical(
+                reference, _result_arrays(engine, rows_b)
+            )
+
+    qps = {(cell["n_jobs"], cell["batch_size"]): cell["qps"] for cell in throughput}
+    batch_speedup = qps[(1, 1024)] / qps[(1, 1)] if qps[(1, 1)] > 0 else float("inf")
+    all_identical = all(identical.values())
+
+    payload = {
+        "benchmark": "serving",
+        "dataset": "ncvr-pl",
+        "n_records_per_side": n,
+        "threshold": THRESHOLD,
+        "k": K,
+        "seed": SEED,
+        "tiny": bool(args.tiny),
+        "build": {
+            "rebuild_s": rebuild_s,
+            "save_s": save_s,
+            "cold_load_s": load_s,
+            "load_speedup_vs_rebuild": load_speedup,
+        },
+        "throughput": throughput,
+        "batch_1024_vs_1_qps_speedup": batch_speedup,
+        "results_identical": identical,
+        "gates": {
+            "min_batch_speedup": MIN_BATCH_SPEEDUP,
+            "min_load_speedup": MIN_LOAD_SPEEDUP if not args.tiny else None,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(banner(f"snapshot serving @ n={n} per side"))
+    print(
+        f"rebuild {rebuild_s * 1e3:.1f} ms vs cold load {load_s * 1e3:.1f} ms "
+        f"({load_speedup:.1f}x)"
+    )
+    rows = [
+        [
+            cell["n_jobs"],
+            cell["batch_size"],
+            f"{cell['qps']:.0f}",
+            f"{cell['p50_ms']:.2f}",
+            f"{cell['p95_ms']:.2f}",
+            f"{cell['p99_ms']:.2f}",
+        ]
+        for cell in throughput
+    ]
+    print(format_table(["n_jobs", "batch", "QPS", "p50_ms", "p95_ms", "p99_ms"], rows))
+    print(f"batch-1024 vs batch-1 QPS: {batch_speedup:.1f}x")
+    print(f"results identical across configurations: {all_identical}")
+    print(f"wrote {OUTPUT}")
+
+    if args.check:
+        if not all_identical:
+            print(
+                f"CHECK FAILED: results differ across configurations: {identical}",
+                file=sys.stderr,
+            )
+            return 1
+        if batch_speedup < MIN_BATCH_SPEEDUP:
+            print(
+                f"CHECK FAILED: batch-1024 QPS only {batch_speedup:.1f}x batch-1 "
+                f"(need >= {MIN_BATCH_SPEEDUP}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if not args.tiny and load_speedup < MIN_LOAD_SPEEDUP:
+            print(
+                f"CHECK FAILED: cold load only {load_speedup:.1f}x faster than "
+                f"rebuild (need >= {MIN_LOAD_SPEEDUP}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

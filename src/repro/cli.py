@@ -8,6 +8,9 @@ The paper's evaluation workflow as shell commands::
     repro link a.csv b.csv --threshold 4 -o matches.csv --truth truth.csv
     repro link a.csv b.csv --rule "(FirstName<=4) & (LastName<=4)" \
          --k FirstName=5 --k LastName=5 -o matches.csv
+    repro index build a.csv -o idx --threshold 4
+    repro index query idx b.csv -o matches.csv --top-k 1
+    repro index bench idx b.csv --n-jobs 4
     repro lint src/ --format json
 
 Every command takes ``--seed`` and is fully reproducible; ``repro lint``
@@ -95,6 +98,39 @@ def _build_parser() -> argparse.ArgumentParser:
     link.add_argument("--truth", help="ground-truth CSV to score against")
     link.add_argument("--delta", type=float, default=0.1)
     _add_seed(link)
+
+    index = sub.add_parser(
+        "index", help="build, query and benchmark persistent index snapshots"
+    )
+    isub = index.add_subparsers(dest="index_command", required=True)
+
+    build = isub.add_parser(
+        "build", help="calibrate + index a reference CSV into a snapshot bundle"
+    )
+    build.add_argument("dataset", help="reference dataset CSV (dataset A)")
+    build.add_argument("-o", "--output", required=True, help="bundle directory")
+    build.add_argument("--threshold", type=int, required=True)
+    build.add_argument("--k", type=int, default=30, help="sampled bits per group")
+    build.add_argument("--delta", type=float, default=0.1)
+    _add_seed(build)
+
+    query = isub.add_parser(
+        "query", help="match a query CSV against a snapshot bundle"
+    )
+    query.add_argument("bundle", help="snapshot bundle directory")
+    query.add_argument("dataset", help="query dataset CSV (dataset B)")
+    query.add_argument("-o", "--output", required=True, help="matches CSV path")
+    query.add_argument("--threshold", type=int, help="override the stored threshold")
+    query.add_argument("--top-k", type=int, help="keep only the top-k closest matches")
+    query.add_argument("--n-jobs", type=int, default=1)
+
+    bench = isub.add_parser(
+        "bench", help="time cold load + batched query throughput for a bundle"
+    )
+    bench.add_argument("bundle", help="snapshot bundle directory")
+    bench.add_argument("dataset", help="query dataset CSV")
+    bench.add_argument("--repeat", type=int, default=3)
+    bench.add_argument("--n-jobs", type=int, default=1)
 
     lint = sub.add_parser(
         "lint",
@@ -264,11 +300,113 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.protocol import value_rows
+    from repro.serve import QueryEngine
+
+    dataset = read_dataset(args.dataset)
+    linker = CompactHammingLinker.record_level(
+        threshold=args.threshold, k=args.k, delta=args.delta, seed=args.seed
+    )
+    encoder = linker.calibrate(dataset)
+    started = time.perf_counter()
+    engine = QueryEngine.build(
+        list(value_rows(dataset)),
+        encoder,
+        threshold=args.threshold,
+        k=args.k,
+        delta=args.delta,
+        seed=args.seed,
+    )
+    bundle = engine.save(args.output)
+    elapsed = time.perf_counter() - started
+    emit(
+        f"indexed {engine.n_indexed} records ({encoder.total_bits} bits, "
+        f"{engine.snapshot.lsh.n_tables} tables) in {elapsed:.2f} s -> {bundle}"
+    )
+    return 0
+
+
+def _cmd_index_query(args: argparse.Namespace) -> int:
+    import csv
+
+    from repro.perf import ParallelConfig
+    from repro.protocol import value_rows
+    from repro.serve import QueryEngine
+
+    dataset = read_dataset(args.dataset)
+    engine = QueryEngine.from_snapshot(
+        args.bundle, parallel=ParallelConfig(n_jobs=args.n_jobs)
+    )
+    result = engine.query_batch(
+        list(value_rows(dataset)), threshold=args.threshold, top_k=args.top_k
+    )
+    with open(args.output, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id_query", "row_index", "distance"])
+        for query, rid, dist in zip(result.queries, result.ids, result.distances):
+            writer.writerow([dataset[int(query)].record_id, int(rid), int(dist)])
+    emit(
+        f"matched {len(dataset)} queries against {engine.n_indexed} indexed "
+        f"records; {result.n_matches} matches -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_index_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.perf import ParallelConfig
+    from repro.protocol import value_rows
+    from repro.serve import QueryEngine
+
+    dataset = read_dataset(args.dataset)
+    rows = list(value_rows(dataset))
+    started = time.perf_counter()
+    engine = QueryEngine.from_snapshot(
+        args.bundle, parallel=ParallelConfig(n_jobs=args.n_jobs)
+    )
+    load_s = time.perf_counter() - started
+    timings = []
+    n_matches = 0
+    for __ in range(max(1, args.repeat)):
+        started = time.perf_counter()
+        n_matches = engine.query_batch(rows).n_matches
+        timings.append(time.perf_counter() - started)
+    best = min(timings)
+    emit(
+        format_table(
+            ["metric", "value"],
+            [
+                ["indexed records", engine.n_indexed],
+                ["queries", len(rows)],
+                ["matches", n_matches],
+                ["cold load (s)", f"{load_s:.4f}"],
+                ["best batch time (s)", f"{best:.4f}"],
+                ["QPS", f"{len(rows) / best:.0f}" if best else "inf"],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    handler = {
+        "build": _cmd_index_build,
+        "query": _cmd_index_query,
+        "bench": _cmd_index_bench,
+    }[args.index_command]
+    return handler(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "corrupt": _cmd_corrupt,
     "sizing": _cmd_sizing,
     "link": _cmd_link,
+    "index": _cmd_index,
     "lint": _cmd_lint,
 }
 

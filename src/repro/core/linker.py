@@ -26,6 +26,7 @@ back-compat; they live in :mod:`repro.pipeline.result` and
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -37,9 +38,11 @@ from repro.core.config import (
 )
 from repro.core.encoder import RecordEncoder
 from repro.core.qgram import QGramScheme
+from repro.hamming.bitmatrix import BitMatrix
 from repro.hamming.bitvector import BitVector
 from repro.hamming.distance import hamming_packed
 from repro.hamming.lsh import HammingLSH
+from repro.hamming.query import batch_query, group_matches, top_k_smallest
 from repro.perf import ParallelConfig
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.result import LinkageResult as LinkageResult
@@ -374,12 +377,17 @@ class StreamingLinker:
         self._lsh.insert(vector, record_id)
         return record_id
 
-    def query(self, values: Sequence[str]) -> list[tuple[int, int]]:
+    def query(
+        self, values: Sequence[str], top_k: int | None = None
+    ) -> list[tuple[int, int]]:
         """Matching (id, distance) pairs for one incoming record.
 
         Candidate ids from all blocking groups are verified in one batched
         ``bitwise_count`` sweep over the packed store instead of a per-id
-        Python-integer Hamming loop.
+        Python-integer Hamming loop.  ``top_k`` keeps only the ``top_k``
+        closest matches under the threshold, selected by a partial sort
+        with ties broken deterministically by the smaller record id (and
+        ordered by ``(distance, id)``).
         """
         vector = self.encoder.encode(values)
         ids = self._lsh.query(vector)
@@ -388,9 +396,83 @@ class StreamingLinker:
         rows = np.asarray(ids, dtype=np.int64)
         distances = hamming_packed(self._words[rows], vector.to_packed())
         keep = distances <= self.threshold
-        return [
-            (int(rid), int(dist)) for rid, dist in zip(rows[keep], distances[keep])
-        ]
+        rows, distances = rows[keep], distances[keep]
+        if top_k is not None:
+            chosen = top_k_smallest(distances, rows, top_k)
+            rows, distances = rows[chosen], distances[chosen]
+        return [(int(rid), int(dist)) for rid, dist in zip(rows, distances)]
+
+    def query_batch(
+        self, rows: Sequence[Sequence[str]], top_k: int | None = None
+    ) -> list[list[tuple[int, int]]]:
+        """Matches for a whole block of incoming records at once.
+
+        Runs the shared batch kernel (:func:`repro.hamming.query.batch_query`):
+        the block is embedded in one interned pass, blocked with the
+        sort-merge join and verified in one packed Hamming sweep.  The
+        per-query lists equal :meth:`query` called record by record —
+        ordered by record id, or by ``(distance, id)`` with ``top_k``.
+        """
+        if not rows:
+            return []
+        matrix_b = self.encoder.encode_dataset(rows)
+        queries, ids, distances = batch_query(
+            self._lsh,
+            self._words[: self._count],
+            matrix_b,
+            threshold=self.threshold,
+            top_k=top_k,
+        )
+        return group_matches(queries, ids, distances, len(rows))
+
+    # -- persistence -----------------------------------------------------------
+
+    def save_snapshot(self, path: str | Path) -> Path:
+        """Persist the index as a snapshot bundle (see docs/serving.md).
+
+        The packed embedding store and every blocking group's bucket
+        arrays are written via
+        :func:`repro.core.persist.save_index_snapshot`; streaming
+        inserts are compacted into the sorted bulk representation at
+        save time, so loading is pure ``mmap``.
+        """
+        from repro.core.persist import save_index_snapshot
+
+        matrix = BitMatrix(self._words[: self._count], self.encoder.total_bits)
+        return save_index_snapshot(
+            path, self.encoder, matrix, self._lsh, threshold=self.threshold
+        )
+
+    @classmethod
+    def load_snapshot(
+        cls,
+        path: str | Path,
+        parallel: ParallelConfig | None = None,
+        mmap_mode: str | None = "r",
+    ) -> "StreamingLinker":
+        """Rebuild a streaming linker from a snapshot bundle, zero-copy.
+
+        The packed store and bucket arrays stay memory-mapped (with the
+        default ``mmap_mode``); further :meth:`insert` calls copy-on-grow
+        into process memory, leaving the bundle untouched.
+        """
+        from repro.core.persist import load_index_snapshot
+
+        snapshot = load_index_snapshot(path, mmap_mode=mmap_mode)
+        if snapshot.threshold is None:
+            raise ValueError(
+                f"snapshot at {path} records no matching threshold; "
+                "StreamingLinker needs one"
+            )
+        linker = cls.__new__(cls)
+        linker.encoder = snapshot.encoder
+        linker.threshold = snapshot.threshold
+        linker.parallel = parallel or ParallelConfig()
+        linker._lsh = snapshot.lsh
+        linker._n_words = (snapshot.encoder.total_bits + 63) // 64
+        linker._words = snapshot.matrix.words
+        linker._count = snapshot.n_rows
+        return linker
 
     def insert_dataset(self, dataset: DatasetLike) -> None:
         """Bulk insert of a dataset (convenience for warm-up)."""

@@ -37,8 +37,9 @@ BfH and the streaming linker.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -178,7 +179,9 @@ def _pack_keys(bit_columns: np.ndarray) -> np.ndarray:
     if k <= 64:
         weights = (np.uint64(1) << np.arange(k, dtype=np.uint64))[None, :]
         return (bit_columns.astype(np.uint64) * weights).sum(axis=1)
-    packed = np.packbits(bit_columns, axis=1)
+    # packbits preserves the input's memory order; a column gather can be
+    # F-ordered, and the void view below needs a contiguous last axis.
+    packed = np.ascontiguousarray(np.packbits(bit_columns, axis=1))
     return packed.view([("", packed.dtype)] * packed.shape[1]).ravel()
 
 
@@ -215,6 +218,7 @@ class BlockingGroup:
         self.composite = composite
         self._keys: np.ndarray | None = None  # sorted blocking keys (bulk inserts)
         self._ids: np.ndarray | None = None  # row ids, parallel to _keys
+        self._bounds: np.ndarray | None = None  # cached run starts of _keys
         self._buckets: dict[object, list[int]] = {}  # streaming overlay
 
     def insert_matrix(self, matrix: BitMatrix) -> None:
@@ -227,6 +231,7 @@ class BlockingGroup:
         order = np.argsort(keys, kind="stable")
         self._keys = keys[order]
         self._ids = ids[order]
+        self._bounds = None
 
     def insert(self, vector: BitVector, record_id: int) -> None:
         """Insert a single vector (streaming API)."""
@@ -245,11 +250,96 @@ class BlockingGroup:
         return lo, hi
 
     def _bulk_boundaries(self) -> np.ndarray:
-        """Start offsets of the distinct-key runs in the bulk arrays."""
+        """Start offsets of the distinct-key runs in the bulk arrays (cached)."""
+        if self._bounds is not None:
+            return self._bounds
         keys = self._keys
         if keys is None or keys.size == 0:
-            return np.empty(0, dtype=np.int64)
-        return np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
+            self._bounds = np.empty(0, dtype=np.int64)
+        else:
+            self._bounds = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
+        return self._bounds
+
+    # -- snapshot state --------------------------------------------------------
+
+    def _empty_key_dtype(self) -> "np.dtype[Any]":
+        """The key dtype :func:`_pack_keys` produces for this composite."""
+        k = len(self.composite.positions)
+        if k <= 64:
+            return np.dtype(np.uint64)
+        return np.dtype([("", np.uint8)] * ((k + 7) // 8))
+
+    def _overlay_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Streaming-overlay entries as parallel (keys, ids) arrays.
+
+        Overlay keys are the low-endian packed integers of
+        :meth:`CompositeHash.key_for`; for ``K > 64`` they are re-packed
+        into the byte representation :func:`_pack_keys` uses so both
+        stores share one dtype.
+        """
+        k = len(self.composite.positions)
+        key_list = list(self._buckets)
+        counts = np.asarray([len(self._buckets[key]) for key in key_list], dtype=np.int64)
+        flat_ids = np.asarray(
+            [rid for key in key_list for rid in self._buckets[key]], dtype=np.int64
+        )
+        if k <= 64:
+            keys = np.asarray([int(key) for key in key_list], dtype=np.uint64)  # type: ignore[call-overload]
+        else:
+            bits = np.zeros((len(key_list), k), dtype=np.uint8)
+            for row, key in enumerate(key_list):
+                value = int(key)  # type: ignore[call-overload]
+                for rank in range(k):
+                    bits[row, rank] = (value >> rank) & 1
+            keys = _pack_keys(bits)
+        return np.repeat(keys, counts), flat_ids
+
+    def export_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk state ``(sorted_keys, ids, run_starts)`` with the overlay folded in.
+
+        Any streaming-overlay entries are merged into the sorted bulk
+        representation *here*, at export time — a snapshot loaded from
+        these arrays never needs to re-sort.  Within one key, bulk ids
+        keep preceding overlay ids (the :meth:`bucket` order).
+        """
+        keys, ids = self._keys, self._ids
+        if self._buckets:
+            over_keys, over_ids = self._overlay_arrays()
+            if keys is None or ids is None:
+                keys, ids = over_keys, over_ids
+            else:
+                keys = np.concatenate([keys, over_keys])
+                ids = np.concatenate([ids, over_ids])
+            order = np.argsort(keys, kind="stable")
+            keys, ids = keys[order], ids[order]
+        if keys is None or ids is None:
+            keys = np.empty(0, dtype=self._empty_key_dtype())
+            ids = np.empty(0, dtype=np.int64)
+        if keys.size:
+            bounds = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
+        else:
+            bounds = np.empty(0, dtype=np.int64)
+        return keys, ids, bounds
+
+    @classmethod
+    def from_arrays(
+        cls,
+        composite: CompositeHash,
+        keys: np.ndarray,
+        ids: np.ndarray,
+        bounds: np.ndarray,
+    ) -> "BlockingGroup":
+        """Adopt pre-sorted bulk arrays (snapshot load: no hashing, no sort).
+
+        ``keys``/``ids``/``bounds`` must be the output of
+        :meth:`export_arrays`; they may be read-only memory-mapped views
+        — nothing here copies or mutates them.
+        """
+        group = cls(composite)
+        group._keys = keys
+        group._ids = ids
+        group._bounds = bounds
+        return group
 
     def bucket(self, key: object) -> list[int]:
         """The id list stored under ``key`` (empty when absent)."""
@@ -362,6 +452,51 @@ class HammingLSH:
     @property
     def n_tables(self) -> int:
         return len(self.groups)
+
+    @classmethod
+    def from_state(
+        cls,
+        n_bits: int,
+        k: int,
+        positions: Sequence[Sequence[int]],
+        threshold: int | None = None,
+        delta: float = 0.1,
+        max_chunk_pairs: int | None = None,
+    ) -> "HammingLSH":
+        """Rebuild an LSH from explicit per-table sampled bit positions.
+
+        This is the snapshot-load constructor: instead of drawing fresh
+        base hash functions from a seed, every table's ``K`` positions
+        are adopted verbatim, so a persisted index keeps producing the
+        exact blocking keys it was built with.  The groups come back
+        empty; attach their bulk arrays via
+        :meth:`BlockingGroup.from_arrays`.
+        """
+        if not positions:
+            raise ValueError("positions must name at least one table")
+        for table, pos in enumerate(positions):
+            if len(pos) != k:
+                raise ValueError(
+                    f"table {table} has {len(pos)} positions, expected K={k}"
+                )
+            for p in pos:
+                if not 0 <= int(p) < n_bits:
+                    raise ValueError(
+                        f"table {table} samples bit {p}, out of range for width {n_bits}"
+                    )
+        lsh = cls(
+            n_bits=n_bits,
+            k=k,
+            threshold=threshold,
+            delta=delta,
+            n_tables=len(positions),
+            seed=0,
+            max_chunk_pairs=max_chunk_pairs,
+        )
+        lsh.groups = [
+            BlockingGroup(CompositeHash(tuple(int(p) for p in pos))) for pos in positions
+        ]
+        return lsh
 
     # -- indexing ---------------------------------------------------------------
 

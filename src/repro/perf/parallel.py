@@ -15,6 +15,7 @@ spend their time in GIL-releasing NumPy kernels.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -25,6 +26,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 _BACKENDS = ("process", "thread")
+_START_METHODS = (None, "fork", "spawn", "forkserver")
 
 
 def resolve_n_jobs(n_jobs: int) -> int:
@@ -49,11 +51,27 @@ class ParallelConfig:
     backend:
         ``"process"`` (default; true multi-core for Python-bound work) or
         ``"thread"`` (cheaper startup; fine for GIL-releasing kernels).
+    start_method:
+        Process start method (``"fork"``, ``"spawn"``, ``"forkserver"``;
+        ``None`` keeps the platform default).  Workers and initializers
+        must be module-level callables, so every start method — including
+        ``"spawn"``, which pickles everything — produces identical
+        results.
+    initializer / initargs:
+        Default per-worker initializer hook.  It runs once per worker
+        (and once inline on the single-process path) before any work
+        item; this is how serving attaches a read-only memory-mapped
+        snapshot in each worker instead of pickling embeddings per task.
+        An explicit ``initializer`` passed to :func:`parallel_map` takes
+        precedence.
     """
 
     n_jobs: int = 1
     chunk_size: int | None = None
     backend: str = "process"
+    start_method: str | None = None
+    initializer: Callable[..., None] | None = None
+    initargs: tuple[Any, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_jobs < 0:
@@ -62,6 +80,12 @@ class ParallelConfig:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
+        if self.start_method not in _START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {_START_METHODS}, got {self.start_method!r}"
+            )
+        if self.initializer is None and self.initargs:
+            raise ValueError("initargs given without an initializer")
 
     @property
     def effective_jobs(self) -> int:
@@ -100,16 +124,34 @@ def parallel_map(
     ``config.backend``; ``initializer(*initargs)`` runs once per worker
     (and once inline on the single-process path), which is how large
     read-only arrays are shipped to workers exactly once instead of once
-    per work item.
+    per work item.  When no explicit initializer is given the config's
+    ``initializer`` / ``initargs`` hook applies; ``config.start_method``
+    selects how worker processes are started (``"spawn"`` requires
+    module-level, picklable workers — which all of ours are).
     """
     work = list(items)
     jobs = min(config.effective_jobs, len(work))
+    if initializer is None and config.initializer is not None:
+        initializer = config.initializer
+        initargs = config.initargs
     if jobs <= 1:
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in work]
-    pool_cls = ProcessPoolExecutor if config.backend == "process" else ThreadPoolExecutor
-    with pool_cls(
+    if config.backend == "process":
+        context = (
+            multiprocessing.get_context(config.start_method)
+            if config.start_method is not None
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=initializer,
+            initargs=tuple(initargs),
+            mp_context=context,
+        ) as pool:
+            return list(pool.map(fn, work))
+    with ThreadPoolExecutor(
         max_workers=jobs, initializer=initializer, initargs=tuple(initargs)
     ) as pool:
         return list(pool.map(fn, work))

@@ -41,7 +41,9 @@ from repro.pipeline.stages import (
     ChunkedCandidateStage,
     CVectorEmbedStage,
     EncoderCalibrateStage,
+    LoadSnapshotStage,
     MaterializedCandidateStage,
+    QueryEmbedStage,
     RuleClassifyStage,
     SampledCalibrationEmbedStage,
     ThresholdVerifyStage,
@@ -58,12 +60,14 @@ __all__ = [
     "ClassifyStage",
     "EmbedStage",
     "EncoderCalibrateStage",
+    "LoadSnapshotStage",
     "LinkagePipeline",
     "LinkageResult",
     "LinkerSpec",
     "MaterializedCandidateStage",
     "PipelineContext",
     "PipelineStage",
+    "QueryEmbedStage",
     "RuleClassifyStage",
     "SampledCalibrationEmbedStage",
     "Stage",

@@ -94,6 +94,56 @@ class EncoderCalibrateStage(CalibrateStage):
         ctx.encoder = self.owner.encoder
 
 
+class LoadSnapshotStage(CalibrateStage):
+    """Attach a persisted index snapshot instead of calibrating + indexing A.
+
+    Loads the bundle (zero-copy by default) and publishes its encoder,
+    packed A-side matrix and fully indexed blocker, so the rest of the
+    pipeline — candidate generation, verification — runs unchanged
+    against data that was never re-hashed or re-sorted.  Replaces the
+    calibrate stage (the snapshot *is* the calibration) and charges its
+    wall-clock to the ``"index"`` timing key, where index construction
+    is accounted.
+    """
+
+    timing = "index"
+
+    def __init__(self, path: Any, mmap_mode: str | None = "r"):
+        self.path = path
+        self.mmap_mode = mmap_mode
+
+    def run(self, ctx: PipelineContext) -> None:
+        # Runtime import: repro.pipeline stays import-leaf so repro.core
+        # can depend on it (see the module docstring).
+        from repro.core.persist import load_index_snapshot
+
+        snapshot = load_index_snapshot(self.path, mmap_mode=self.mmap_mode)
+        ctx.encoder = snapshot.encoder
+        ctx.embedded_a = snapshot.matrix
+        ctx.blocker = snapshot.lsh
+        ctx.extras["snapshot"] = snapshot
+
+
+class QueryEmbedStage(EmbedStage):
+    """Embed only dataset B — A's embedding came from a loaded snapshot.
+
+    The serving-side counterpart of :class:`CVectorEmbedStage`: the same
+    interned ``encode_dataset`` hot path and intern counters, applied to
+    the query stream alone.
+    """
+
+    def run(self, ctx: PipelineContext) -> None:
+        stats: dict[str, float] = {}
+        ctx.embedded_b = ctx.encoder.encode_dataset(
+            ctx.rows_b, parallel=ctx.parallel, stats=stats
+        )
+        values = stats.get("intern_values", 0.0)
+        unique = stats.get("intern_unique", 0.0)
+        ctx.counters["intern_values"] = values
+        ctx.counters["intern_unique"] = unique
+        ctx.counters["intern_hit_rate"] = 1.0 - unique / values if values else 0.0
+
+
 class CVectorEmbedStage(EmbedStage):
     """Interned c-vector embedding of both datasets, with intern counters.
 

@@ -1,0 +1,8 @@
+"""Snapshot serving: high-throughput batched queries over a persisted index.
+
+See :mod:`repro.serve.engine` and ``docs/serving.md``.
+"""
+
+from repro.serve.engine import QueryEngine, QueryResult
+
+__all__ = ["QueryEngine", "QueryResult"]

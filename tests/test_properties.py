@@ -96,6 +96,72 @@ class TestErrorDistanceBounds:
         assert scheme.count(s) == len(qgrams(s))
 
 
+class TestPackedKernelParity:
+    """The packed ``bitwise_count`` kernels agree with the per-pair
+    ``BitVector.hamming`` reference at word-boundary widths (1 / 63 / 64 /
+    65 bits — below, at, and just past one ``uint64`` word)."""
+
+    WIDTHS = (1, 63, 64, 65)
+    N_ROWS = 8
+
+    def _pair(self, seed, n_bits):
+        from repro.hamming.bitmatrix import scatter_bits
+
+        rng = np.random.default_rng(seed)
+        matrices = []
+        for __ in range(2):
+            mask = rng.random((self.N_ROWS, n_bits)) < 0.4
+            rows, bits = np.nonzero(mask)
+            matrices.append(scatter_bits(self.N_ROWS, n_bits, rows, bits))
+        return matrices
+
+    @given(st.integers(0, 10_000), st.sampled_from(WIDTHS))
+    @settings(max_examples=40, deadline=None)
+    def test_hamming_packed_matches_bitvector(self, seed, n_bits):
+        from repro.hamming.distance import hamming_packed
+
+        matrix_a, matrix_b = self._pair(seed, n_bits)
+        got = hamming_packed(matrix_a.words, matrix_b.words)
+        want = [
+            matrix_a.row(i).hamming(matrix_b.row(i)) for i in range(self.N_ROWS)
+        ]
+        assert got.tolist() == want
+
+    @given(st.integers(0, 10_000), st.sampled_from(WIDTHS))
+    @settings(max_examples=40, deadline=None)
+    def test_hamming_packed_broadcast_row_vs_matrix(self, seed, n_bits):
+        """The ``(n_words,)`` vs ``(n, n_words)`` broadcast path."""
+        from repro.hamming.distance import hamming_packed
+
+        matrix_a, matrix_b = self._pair(seed, n_bits)
+        got = hamming_packed(matrix_a.words[0], matrix_b.words)
+        want = [
+            matrix_a.row(0).hamming(matrix_b.row(j)) for j in range(self.N_ROWS)
+        ]
+        assert got.tolist() == want
+
+    @given(st.integers(0, 10_000), st.sampled_from(WIDTHS), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_masked_hamming_rows_matches_bit_loop(self, seed, n_bits, data):
+        from repro.hamming.distance import masked_hamming_rows
+
+        matrix_a, matrix_b = self._pair(seed, n_bits)
+        start = data.draw(st.integers(0, n_bits - 1))
+        stop = data.draw(st.integers(start + 1, n_bits))
+        rows = np.arange(self.N_ROWS, dtype=np.int64)
+        got = masked_hamming_rows(
+            matrix_a.words, rows, matrix_b.words, rows, start, stop
+        )
+        want = [
+            sum(
+                matrix_a.get_bit(i, bit) != matrix_b.get_bit(i, bit)
+                for bit in range(start, stop)
+            )
+            for i in range(self.N_ROWS)
+        ]
+        assert got.tolist() == want
+
+
 class TestLSHInvariants:
     @given(st.integers(0, 10_000), st.integers(2, 12))
     @settings(max_examples=20, deadline=None)

@@ -1,0 +1,365 @@
+"""Tests for index snapshots (repro.core.persist) and repro.serve.
+
+Three layers of the serving story:
+
+* the snapshot bundle round-trips **bit-identically** — loading must give
+  the same candidates, matches and packed words as the in-memory index
+  that produced it, with payloads still memory-mapped (zero-copy);
+* corrupt or stale bundles fail loudly with :class:`SnapshotError`, never
+  with silently wrong candidates;
+* :class:`repro.serve.QueryEngine` answers batched threshold / top-k
+  queries byte-identically for every ``n_jobs`` / backend / start-method
+  configuration, including the golden-parity fixture.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.linker import CompactHammingLinker, StreamingLinker
+from repro.core.persist import (
+    IndexSnapshot,
+    SnapshotError,
+    encoder_fingerprint,
+    load_index_snapshot,
+    save_index_snapshot,
+)
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.core.encoder import RecordEncoder
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.hamming.lsh import HammingLSH
+from repro.perf import ParallelConfig
+from repro.pipeline import (
+    ChunkedCandidateStage,
+    LoadSnapshotStage,
+    QueryEmbedStage,
+    ThresholdVerifyStage,
+)
+from repro.pipeline.runner import LinkagePipeline
+from repro.serve import QueryEngine
+from tests.golden_linkers import (
+    GOLDEN_PATH,
+    K,
+    PROBLEM_SEED,
+    THRESHOLD,
+    make_problem,
+)
+
+SEED = 11
+N = 150
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_linkage_problem(NCVRGenerator(), N, scheme_pl(), seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def encoder(problem):
+    rows = list(problem.dataset_a.value_rows()) + list(problem.dataset_b.value_rows())
+    return RecordEncoder.calibrated(rows, scheme=EXPERIMENT_SCHEME, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def rows_a(problem):
+    return [tuple(r) for r in problem.dataset_a.value_rows()]
+
+
+@pytest.fixture(scope="module")
+def rows_b(problem):
+    return [tuple(r) for r in problem.dataset_b.value_rows()]
+
+
+def _build_index(encoder, rows, k=30, seed=SEED, threshold=4):
+    matrix = encoder.encode_dataset(rows)
+    lsh = HammingLSH(
+        n_bits=encoder.total_bits, k=k, threshold=threshold, seed=seed
+    )
+    lsh.index(matrix)
+    return matrix, lsh
+
+
+class TestSnapshotRoundTrip:
+    def test_bit_identical_candidates_and_words(
+        self, tmp_path, encoder, rows_a, rows_b
+    ):
+        matrix, lsh = _build_index(encoder, rows_a)
+        bundle = save_index_snapshot(tmp_path / "idx", encoder, matrix, lsh, threshold=4)
+        snap = load_index_snapshot(bundle)
+        assert np.array_equal(np.asarray(snap.matrix.words), matrix.words)
+        matrix_b = encoder.encode_dataset(rows_b)
+        want = lsh.candidate_pairs(matrix_b)
+        got = snap.lsh.candidate_pairs(matrix_b)
+        assert np.array_equal(want[0], got[0]) and np.array_equal(want[1], got[1])
+        assert snap.threshold == 4
+        assert snap.path == bundle
+
+    def test_payloads_stay_memory_mapped(self, tmp_path, encoder, rows_a):
+        matrix, lsh = _build_index(encoder, rows_a)
+        bundle = save_index_snapshot(tmp_path / "idx", encoder, matrix, lsh)
+        snap = load_index_snapshot(bundle, mmap_mode="r")
+        base = snap.matrix.words
+        while getattr(base, "base", None) is not None:
+            base = base.base
+        assert type(base).__name__ == "mmap" or isinstance(base, np.memmap)
+
+    def test_encoder_round_trips_bit_identically(self, tmp_path, encoder, rows_a):
+        matrix, lsh = _build_index(encoder, rows_a)
+        bundle = save_index_snapshot(tmp_path / "idx", encoder, matrix, lsh)
+        snap = load_index_snapshot(bundle)
+        assert encoder_fingerprint(snap.encoder) == encoder_fingerprint(encoder)
+        assert snap.encoder.encode_dataset(rows_a[:10]) == encoder.encode_dataset(
+            rows_a[:10]
+        )
+
+    def test_wide_composite_keys_round_trip(self, tmp_path, encoder, rows_a, rows_b):
+        """K > 64 exercises the packed-bytes (void dtype) key representation."""
+        matrix, lsh = _build_index(encoder, rows_a, k=70)
+        bundle = save_index_snapshot(tmp_path / "idx", encoder, matrix, lsh)
+        snap = load_index_snapshot(bundle)
+        matrix_b = encoder.encode_dataset(rows_b)
+        want = lsh.candidate_pairs(matrix_b)
+        got = snap.lsh.candidate_pairs(matrix_b)
+        assert np.array_equal(want[0], got[0]) and np.array_equal(want[1], got[1])
+
+    def test_streaming_overlay_compacted_at_save(self, tmp_path, encoder, rows_a, rows_b):
+        """Dict-overlay inserts are merged into the sorted bulk arrays."""
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=SEED)
+        for values in rows_a:
+            streaming.insert(values)
+        bundle = streaming.save_snapshot(tmp_path / "idx")
+        loaded = StreamingLinker.load_snapshot(bundle)
+        assert len(loaded) == len(rows_a)
+        assert loaded.query_batch(rows_b) == streaming.query_batch(rows_b)
+
+    def test_insert_after_load_copies_on_grow(self, tmp_path, encoder, rows_a, rows_b):
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=SEED)
+        for values in rows_a[:-1]:
+            streaming.insert(values)
+        bundle = streaming.save_snapshot(tmp_path / "idx")
+        loaded = StreamingLinker.load_snapshot(bundle)
+        loaded.insert(rows_a[-1])
+        streaming.insert(rows_a[-1])
+        assert loaded.query_batch(rows_b) == streaming.query_batch(rows_b)
+        # the bundle on disk is untouched by the post-load insert
+        assert load_index_snapshot(bundle).n_rows == len(rows_a) - 1
+
+
+class TestSnapshotErrors:
+    @pytest.fixture
+    def bundle(self, tmp_path, encoder, rows_a):
+        matrix, lsh = _build_index(encoder, rows_a)
+        return save_index_snapshot(tmp_path / "idx", encoder, matrix, lsh, threshold=4)
+
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(SnapshotError, match="manifest"):
+            load_index_snapshot(tmp_path / "nope")
+
+    def test_version_mismatch(self, bundle):
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (bundle / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            load_index_snapshot(bundle)
+
+    def test_truncated_payload(self, bundle):
+        payload = bundle / "words.npy"
+        payload.write_bytes(payload.read_bytes()[:-64])
+        with pytest.raises(SnapshotError):
+            load_index_snapshot(bundle)
+
+    def test_missing_payload(self, bundle):
+        (bundle / "ids.npy").unlink()
+        with pytest.raises(SnapshotError, match="ids.npy"):
+            load_index_snapshot(bundle)
+
+    def test_stale_encoder_sidecar(self, bundle):
+        """An encoder swapped in after save must be rejected (fingerprint)."""
+        sidecar = json.loads((bundle / "encoder.json").read_text())
+        sidecar["attributes"][0]["hash_a"] += 1
+        (bundle / "encoder.json").write_text(json.dumps(sidecar))
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            load_index_snapshot(bundle)
+
+    def test_corrupt_manifest_json(self, bundle):
+        (bundle / "manifest.json").write_text("{not json")
+        with pytest.raises(SnapshotError):
+            load_index_snapshot(bundle)
+
+
+def _arrays(result):
+    return result.queries, result.ids, result.distances
+
+
+def _assert_identical(left, right):
+    assert all(np.array_equal(a, b) for a, b in zip(_arrays(left), _arrays(right)))
+
+
+class TestQueryEngine:
+    @pytest.fixture(scope="class")
+    def engine(self, encoder, rows_a):
+        return QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+
+    def test_matches_streaming_reference(self, engine, encoder, rows_a, rows_b):
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=SEED)
+        for values in rows_a:
+            streaming.insert(values)
+        assert engine.query_batch(rows_b).matches() == streaming.query_batch(rows_b)
+
+    def test_top_k_matches_streaming_reference(self, engine, encoder, rows_a, rows_b):
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=SEED)
+        for values in rows_a:
+            streaming.insert(values)
+        got = engine.query_batch(rows_b, top_k=2).matches()
+        want = [streaming.query(values, top_k=2) for values in rows_b]
+        assert got == want
+
+    def test_save_load_identical(self, tmp_path, engine, rows_b):
+        reference = engine.query_batch(rows_b)
+        bundle = engine.save(tmp_path / "idx")
+        assert engine.snapshot.path == bundle
+        loaded = QueryEngine.from_snapshot(bundle)
+        _assert_identical(reference, loaded.query_batch(rows_b))
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ParallelConfig(n_jobs=2, backend="process"),
+            ParallelConfig(n_jobs=2, backend="thread"),
+            ParallelConfig(n_jobs=3, chunk_size=17),
+        ],
+        ids=["process", "thread", "chunked"],
+    )
+    def test_parallel_identical(self, tmp_path, engine, rows_b, config):
+        reference = engine.query_batch(rows_b)
+        bundle = engine.save(tmp_path / "idx")
+        parallel = QueryEngine.from_snapshot(bundle, parallel=config)
+        _assert_identical(reference, parallel.query_batch(rows_b))
+        _assert_identical(
+            engine.query_batch(rows_b, top_k=1),
+            parallel.query_batch(rows_b, top_k=1),
+        )
+
+    def test_in_memory_parallel_ships_snapshot_once(self, engine, rows_b):
+        """A never-persisted engine still fans out (snapshot via initargs)."""
+        reference = engine.query_batch(rows_b)
+        snapshot = IndexSnapshot(
+            encoder=engine.snapshot.encoder,
+            matrix=engine.snapshot.matrix,
+            lsh=engine.snapshot.lsh,
+            threshold=engine.snapshot.threshold,
+        )
+        parallel = QueryEngine(
+            snapshot, parallel=ParallelConfig(n_jobs=2, backend="process")
+        )
+        assert parallel.snapshot.path is None
+        _assert_identical(reference, parallel.query_batch(rows_b))
+
+    def test_threshold_override_and_empty_batch(self, engine, rows_b):
+        assert engine.query_batch([]).n_queries == 0
+        loose = engine.query_batch(rows_b, threshold=engine.snapshot.lsh.n_bits)
+        strict = engine.query_batch(rows_b, threshold=0)
+        assert loose.n_matches >= engine.query_batch(rows_b).n_matches >= strict.n_matches
+
+    def test_rejects_thresholdless_snapshot(self, engine):
+        snapshot = IndexSnapshot(
+            encoder=engine.snapshot.encoder,
+            matrix=engine.snapshot.matrix,
+            lsh=engine.snapshot.lsh,
+            threshold=None,
+        )
+        with pytest.raises(ValueError, match="threshold"):
+            QueryEngine(snapshot)
+
+    def test_rejects_bad_top_k(self, engine, rows_b):
+        with pytest.raises(ValueError, match="top_k"):
+            engine.query_batch(rows_b, top_k=0)
+
+
+class TestSpawnStartMethod:
+    """The process backend must be spawn-safe (regression for the
+    initializer/initargs plumbing: everything shipped to workers is
+    module-level and picklable)."""
+
+    def test_query_engine_identical_under_spawn(self, tmp_path, encoder, rows_a, rows_b):
+        engine = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        reference = engine.query_batch(rows_b)
+        bundle = engine.save(tmp_path / "idx")
+        spawned = QueryEngine.from_snapshot(
+            bundle,
+            parallel=ParallelConfig(n_jobs=2, backend="process", start_method="spawn"),
+        )
+        _assert_identical(reference, spawned.query_batch(rows_b))
+
+    def test_linker_identical_under_spawn(self, problem):
+        serial = CompactHammingLinker.record_level(threshold=4, k=30, seed=SEED)
+        want = serial.link(problem.dataset_a, problem.dataset_b)
+        spawned = CompactHammingLinker.record_level(
+            threshold=4,
+            k=30,
+            seed=SEED,
+            parallel=ParallelConfig(n_jobs=2, backend="process", start_method="spawn"),
+        )
+        got = spawned.link(problem.dataset_a, problem.dataset_b)
+        assert want.matches == got.matches
+        assert want.n_candidates == got.n_candidates
+
+    def test_start_method_validated(self):
+        with pytest.raises(ValueError, match="start_method"):
+            ParallelConfig(start_method="teleport")
+        with pytest.raises(ValueError, match="initializer"):
+            ParallelConfig(initargs=(1,))
+
+
+class TestLoadSnapshotStage:
+    def test_pipeline_equals_full_linker(self, tmp_path, problem, encoder, rows_a):
+        linker = CompactHammingLinker.record_level(threshold=4, k=30, seed=SEED)
+        linker.encoder = encoder
+        want = linker.link(problem.dataset_a, problem.dataset_b)
+        engine = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        bundle = engine.save(tmp_path / "idx")
+        pipeline = LinkagePipeline(
+            [
+                LoadSnapshotStage(bundle),
+                QueryEmbedStage(),
+                ChunkedCandidateStage(),
+                ThresholdVerifyStage(4, sort_pairs=True),
+            ]
+        )
+        got = pipeline.run(problem.dataset_a, problem.dataset_b)
+        assert want.matches == got.matches
+        assert want.n_candidates == got.n_candidates
+        assert "index" in got.timings and "embed" in got.timings
+
+    def test_snapshot_exposed_in_extras_and_counters(self, tmp_path, problem, encoder, rows_a):
+        engine = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        bundle = engine.save(tmp_path / "idx")
+        stage = LoadSnapshotStage(bundle)
+        assert stage.timing == "index"
+        assert stage.kind == "calibrate"
+
+
+class TestGoldenParity:
+    """The snapshot path reproduces the committed golden streaming run."""
+
+    def test_snapshot_serves_golden_streaming_matches(self, tmp_path):
+        golden = json.loads(GOLDEN_PATH.read_text())["streaming"]
+        prob = make_problem()
+        calibrator = CompactHammingLinker.record_level(
+            threshold=THRESHOLD, k=K, seed=PROBLEM_SEED
+        )
+        enc = calibrator.calibrate(prob.dataset_a, prob.dataset_b)
+        streaming = StreamingLinker(enc, threshold=THRESHOLD, k=K, seed=PROBLEM_SEED)
+        for values in prob.dataset_a.value_rows():
+            streaming.insert(values)
+        bundle = streaming.save_snapshot(tmp_path / "idx")
+        engine = QueryEngine.from_snapshot(bundle)
+        result = engine.query_batch(
+            [tuple(r) for r in prob.dataset_b.value_rows()]
+        )
+        matches = sorted(
+            [int(a), int(b)] for b, a in zip(result.queries, result.ids)
+        )
+        assert matches == golden["matches"]
+        assert len(matches) == golden["n_matches"]
