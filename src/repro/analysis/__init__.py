@@ -8,13 +8,20 @@ from an explicit seed, probabilities must never be compared with float
 keeps meaning something.  Beyond the per-file rules, the architectural
 invariants of docs/architecture.md -- acyclic module-level imports, the
 declared package layering, parallel-worker purity, the pipeline's stage
-dataflow and seed propagation -- span modules, so the framework runs in
-two phases:
+dataflow and seed propagation -- span modules, and the flow-sensitive
+invariants of the kernel/serving layers -- handles closed on every
+path, arrays staying ``uint64``, ctx writes dominating their reads --
+span *paths*, so the framework runs in three phases:
 
 * :mod:`repro.analysis.engine` walks each module's ``ast`` tree once and
   dispatches nodes to per-rule visitors (phase 1, RL001-RL006), then
   assembles per-module summaries into a whole-program model checked by
-  project rules (phase 2, RL101-RL105).
+  project rules (phase 2, RL101-RL105 and RL203), and lowers each
+  function to a control-flow graph for the flow-sensitive rules
+  (phase 3, RL201-RL205).
+* :mod:`repro.analysis.cfg` builds the per-function CFGs (exception
+  edges, ``finally`` duplication) and :mod:`repro.analysis.dataflow`
+  runs generic forward/backward fixpoints over them.
 * :mod:`repro.analysis.project` extracts the
   :class:`~repro.analysis.project.ProjectModel`: import graph, symbol
   tables, stage kinds, ``PipelineContext`` dataflow, ``parallel_map``
@@ -40,6 +47,7 @@ from repro.analysis.config import LintConfig, load_config
 from repro.analysis.engine import (
     FileContext,
     Finding,
+    FlowRule,
     LintEngine,
     ProjectRule,
     Rule,
@@ -51,6 +59,7 @@ from repro.analysis.report import render_json, render_sarif, render_text
 __all__ = [
     "FileContext",
     "Finding",
+    "FlowRule",
     "LintConfig",
     "LintEngine",
     "ModuleSummary",

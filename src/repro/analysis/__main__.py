@@ -27,7 +27,8 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
             prog="repro lint",
             description=(
                 "reprolint: repo-specific static analysis "
-                "(per-file RL001-RL006, whole-program RL101-RL105)"
+                "(per-file RL001-RL006, whole-program RL101-RL105, "
+                "flow-sensitive RL201-RL205)"
             ),
         )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
@@ -77,7 +78,14 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print cache/parse statistics to stderr",
+        help="print cache/parse statistics and phase timings to stderr",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout "
+        "(e.g. the SARIF file CI uploads)",
     )
     return parser
 
@@ -133,9 +141,9 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.stats:
         sys.stderr.write(
             "reprolint: {files} file(s), {parsed} parsed, "
-            "{cache_hits} cache hit(s), {project_runs} project pass(es)\n".format(
-                **stats
-            )
+            "{cache_hits} cache hit(s), {project_runs} project pass(es)\n"
+            "reprolint: file phase {file_phase_ms} ms, "
+            "project phase {project_phase_ms} ms\n".format(**stats)
         )
     if args.write_baseline is not None:
         count = write_baseline(findings, Path(args.write_baseline))
@@ -152,7 +160,14 @@ def run_lint(args: argparse.Namespace) -> int:
         output = render_sarif(findings)
     else:
         output = render_text(findings)
-    sys.stdout.write(output + "\n")
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(output + "\n", encoding="utf-8")
+        except OSError as exc:
+            sys.stderr.write(f"repro lint: cannot write {args.output}: {exc}\n")
+            return 2
+    else:
+        sys.stdout.write(output + "\n")
     return 1 if any(f.severity == "error" for f in findings) else 0
 
 

@@ -107,28 +107,33 @@ class LintCache:
             or data.get("fingerprint") != fingerprint
         ):
             return cache
-        for file_path, entry in data.get("files", {}).items():
-            summary_data = entry.get("summary")
-            summary = (
-                ModuleSummary.from_dict(summary_data)
-                if summary_data is not None
-                else None
-            )
-            if summary is None and summary_data is not None:
-                continue  # stale summary version: treat as a miss
-            cache.files[file_path] = FileEntry(
-                hash=entry["hash"],
-                findings=[_finding_from_dict(f) for f in entry["findings"]],
-                summary=summary,
-            )
-        project = data.get("project")
-        if isinstance(project, dict):
-            cache.project_key = project.get("key", "")
-            findings = project.get("findings")
-            if isinstance(findings, list):
-                cache.project_findings = [
-                    _finding_from_dict(f) for f in findings
-                ]
+        try:
+            for file_path, entry in data.get("files", {}).items():
+                summary_data = entry.get("summary")
+                summary = (
+                    ModuleSummary.from_dict(summary_data)
+                    if summary_data is not None
+                    else None
+                )
+                if summary is None and summary_data is not None:
+                    continue  # stale summary version: treat as a miss
+                cache.files[file_path] = FileEntry(
+                    hash=entry["hash"],
+                    findings=[_finding_from_dict(f) for f in entry["findings"]],
+                    summary=summary,
+                )
+            project = data.get("project")
+            if isinstance(project, dict):
+                cache.project_key = project.get("key", "")
+                findings = project.get("findings")
+                if isinstance(findings, list):
+                    cache.project_findings = [
+                        _finding_from_dict(f) for f in findings
+                    ]
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # Structurally-corrupt entries (valid JSON, wrong shape):
+            # degrade to a cold run rather than failing the lint.
+            return cls(path=path, fingerprint=fingerprint)
         return cache
 
     # -- per-file phase ------------------------------------------------

@@ -1,4 +1,4 @@
-"""Core of the reprolint framework: rules, findings, and the two phases.
+"""Core of the reprolint framework: rules, findings, and the three phases.
 
 Per-file rules (:class:`Rule`) declare the AST node types they want to
 see (``interests``) and implement :meth:`Rule.check_node`.  The
@@ -13,9 +13,18 @@ phase: while each file is parsed, a
 :class:`~repro.analysis.project.ModuleSummary` is extracted, the
 summaries are assembled into a
 :class:`~repro.analysis.project.ProjectModel`, and each project rule
-checks the model as a whole.  Both phases flow through the same
-severity, scoping, suppression and caching machinery, so a cross-module
-finding behaves exactly like a per-file one.
+checks the model as a whole.
+
+Flow-sensitive rules (:class:`FlowRule`, RL201+) are the third phase:
+for every function in a file the engine lowers the body to a control-
+flow graph (:mod:`repro.analysis.cfg`) and hands graph + function +
+context to each flow rule, which typically runs a fixpoint analysis
+(:mod:`repro.analysis.dataflow`) over it.  Flow findings are produced
+during the per-file pass, so they are cached per file exactly like
+phase-1 findings and a warm run re-parses nothing.  All three phases
+flow through the same severity, scoping, suppression and caching
+machinery, so a cross-module or path-sensitive finding behaves exactly
+like a per-file one.
 
 Suppressions are comment-driven: a physical line containing
 ``# reprolint: disable=RL001`` (ids comma separated) silences those
@@ -30,12 +39,14 @@ import hashlib
 import io
 import json
 import re
+import time
 import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.analysis.cache import LintCache, content_hash
+from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.config import LintConfig
 from repro.analysis.project import ModuleSummary, ProjectModel, extract_module, module_name_for
 
@@ -218,9 +229,68 @@ class ProjectRule:
         )
 
 
+class FlowRule:
+    """Base class for flow-sensitive per-function rules (RL201+).
+
+    For each (non-lambda) function in a file the engine builds one
+    :class:`~repro.analysis.cfg.CFG` and calls :meth:`check_function`
+    with the graph, the function's AST node and the shared
+    :class:`FileContext`.  Rules usually run one or more
+    :mod:`repro.analysis.dataflow` fixpoints over the graph and emit
+    findings in a separate pass afterwards (transfer functions re-run
+    until convergence, so they must never emit directly).
+
+    Flow rules execute inside the per-file phase: their findings land in
+    the same per-file cache entry as phase-1 findings, so warm-cache
+    runs skip them along with everything else.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    default_include: tuple[str, ...] = ()
+    default_exclude: tuple[str, ...] = ()
+    default_severity: str = "error"
+
+    _registry: dict[str, type["FlowRule"]] = {}
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.rule_id:
+            FlowRule._registry[cls.rule_id] = cls
+
+    @classmethod
+    def registered(cls) -> dict[str, type["FlowRule"]]:
+        import repro.analysis.rules  # noqa: F401
+
+        return dict(cls._registry)
+
+    def check_function(
+        self,
+        graph: CFG,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: FileContext,
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def make_finding(
+        self, node: ast.AST, ctx: FileContext, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
 def all_rule_ids() -> set[str]:
-    """Every registered rule id, per-file and whole-program."""
-    return set(Rule.registered()) | set(ProjectRule.registered())
+    """Every registered rule id: per-file, whole-program and flow."""
+    return (
+        set(Rule.registered())
+        | set(ProjectRule.registered())
+        | set(FlowRule.registered())
+    )
 
 
 class LintEngine:
@@ -236,6 +306,11 @@ class LintEngine:
         self.project_rules: list[ProjectRule] = [
             rule_cls()
             for rule_id, rule_cls in sorted(ProjectRule.registered().items())
+            if config.rule_enabled(rule_id)
+        ]
+        self.flow_rules: list[FlowRule] = [
+            rule_cls()
+            for rule_id, rule_cls in sorted(FlowRule.registered().items())
             if config.rule_enabled(rule_id)
         ]
         self._dispatch: dict[type[ast.AST], list[Rule]] = {}
@@ -275,7 +350,12 @@ class LintEngine:
         active = [
             rule for rule in self.rules if self.config.rule_applies(rule, path)
         ]
-        if not active:
+        flow_active = [
+            rule
+            for rule in self.flow_rules
+            if self.config.rule_applies(rule, path)
+        ]
+        if not active and not flow_active:
             return []
         ctx = FileContext.build(path, source, tree)
         dispatch: dict[type[ast.AST], list[Rule]] = {}
@@ -293,7 +373,34 @@ class LintEngine:
                         if finding.severity != severity:
                             finding = replace(finding, severity=severity)
                         findings.append(finding)
+        if flow_active:
+            findings.extend(self._check_flow(tree, ctx, flow_active))
         return sorted(findings, key=finding_sort_key)
+
+    def _check_flow(
+        self, tree: ast.Module, ctx: FileContext, rules: Sequence[FlowRule]
+    ) -> list[Finding]:
+        """Phase 3: one CFG per function, every flow rule over each.
+
+        ``ast.walk`` yields nested functions as separate nodes and the
+        CFG builder treats nested ``def`` bodies as opaque, so each
+        function — however deeply nested — is analyzed exactly once.
+        """
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            graph = build_cfg(node)
+            for rule in rules:
+                severity = self.config.severity_for(
+                    rule.rule_id, rule.default_severity
+                )
+                for finding in rule.check_function(graph, node, ctx):
+                    if not ctx.is_suppressed(finding):
+                        if finding.severity != severity:
+                            finding = replace(finding, severity=severity)
+                        findings.append(finding)
+        return findings
 
     def lint_file(self, path: Path) -> list[Finding]:
         source = path.read_text(encoding="utf-8")
@@ -372,17 +479,26 @@ def lint_paths(
     ``cache`` enables the incremental cache (hits skip parsing and, when
     no summary changed, the whole-program phase).  ``stats``, when given,
     is filled with ``files`` / ``parsed`` / ``cache_hits`` /
-    ``project_runs`` counters — the cache tests assert on these rather
-    than wall-clock.
+    ``project_runs`` counters plus ``file_phase_ms`` /
+    ``project_phase_ms`` wall-clock timings — the cache tests assert on
+    the counters, never the timings.
     """
     if config is None:
         from repro.analysis.config import load_config
 
         config = load_config()
     engine = LintEngine(config)
-    counters = {"files": 0, "parsed": 0, "cache_hits": 0, "project_runs": 0}
+    counters = {
+        "files": 0,
+        "parsed": 0,
+        "cache_hits": 0,
+        "project_runs": 0,
+        "file_phase_ms": 0,
+        "project_phase_ms": 0,
+    }
     findings: list[Finding] = []
     summaries: list[ModuleSummary] = []
+    file_phase_start = time.monotonic()
     for path in iter_python_files(paths):
         if config.path_excluded(str(path)):
             continue
@@ -407,7 +523,11 @@ def lint_paths(
             summaries.append(summary)
         if cache is not None:
             cache.store(cache_id, file_hash, file_findings, summary)
+    counters["file_phase_ms"] = int(
+        (time.monotonic() - file_phase_start) * 1000
+    )
     if engine.project_rules:
+        project_phase_start = time.monotonic()
         project_findings: list[Finding] | None = None
         project_key = ""
         if cache is not None:
@@ -420,6 +540,9 @@ def lint_paths(
             if cache is not None:
                 cache.store_project(project_key, project_findings)
         findings.extend(project_findings)
+        counters["project_phase_ms"] = int(
+            (time.monotonic() - project_phase_start) * 1000
+        )
     if cache is not None:
         cache.save()
     if stats is not None:

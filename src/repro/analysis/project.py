@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.analysis.cfg import CFGNode, build_cfg, evaluated
+from repro.analysis.dataflow import DataflowAnalysis, solve
 from repro.analysis.rngpatterns import (
     RNG_CONSTRUCTORS,
     has_seed_argument,
@@ -39,7 +41,8 @@ from repro.analysis.rngpatterns import (
 )
 
 #: Bump when the ModuleSummary shape changes; invalidates cached summaries.
-SUMMARY_VERSION = 1
+#: 2: added FunctionInfo.ctx_maybe_unset (flow-sensitive ctx facts, RL203).
+SUMMARY_VERSION = 2
 
 #: Method names that mutate their receiver in place.
 _MUTATOR_METHODS = frozenset(
@@ -136,6 +139,12 @@ class FunctionInfo:
     #: PipelineContext attribute -> first line read / written.
     ctx_reads: dict[str, int] = field(default_factory=dict)
     ctx_writes: dict[str, int] = field(default_factory=dict)
+    #: Flow-sensitive refinement of ``ctx_reads``: attribute -> first line
+    #: of a read NOT dominated by a write on every path into it (own
+    #: writes and same-module ctx-helper writes count; exception edges
+    #: count).  Empty for reads the function provably precedes with a
+    #: write.  Feeds RL203.
+    ctx_maybe_unset: dict[str, int] = field(default_factory=dict)
     #: Same-module functions this one forwards its ctx to.
     ctx_calls: list[str] = field(default_factory=list)
     global_decls: list[str] = field(default_factory=list)
@@ -242,6 +251,7 @@ class ModuleSummary:
                 ctx_param=entry["ctx_param"],
                 ctx_reads=dict(entry["ctx_reads"]),
                 ctx_writes=dict(entry["ctx_writes"]),
+                ctx_maybe_unset=dict(entry["ctx_maybe_unset"]),
                 ctx_calls=list(entry["ctx_calls"]),
                 global_decls=list(entry["global_decls"]),
                 mutations=[list(m) for m in entry["mutations"]],
@@ -355,6 +365,11 @@ class _Extractor:
         #: FunctionInfo accumulating ctx/mutation facts (outermost function).
         self._func: FunctionInfo | None = None
         self._locals: set[str] = set()
+        #: (info, def node) of every ctx-taking function/method, for the
+        #: flow-sensitive post-pass in :func:`extract_module`.
+        self.ctx_functions: list[
+            tuple[FunctionInfo, ast.FunctionDef | ast.AsyncFunctionDef]
+        ] = []
 
     # -- entry ---------------------------------------------------------
 
@@ -458,6 +473,8 @@ class _Extractor:
             self._locals = _local_names(node)
             if len(self._scope) == 0:
                 self.summary.functions[node.name] = info
+            if info.ctx_param is not None:
+                self.ctx_functions.append((info, node))
         else:
             # Nested defs fold their facts into the enclosing summary;
             # the nested name is local there.
@@ -558,6 +575,8 @@ class _Extractor:
                 self._scope.pop()
                 self._func, self._locals = was_func, was_locals
                 info.methods[stmt.name] = method
+                if method.ctx_param is not None:
+                    self.ctx_functions.append((method, stmt))
             else:
                 self._visit(stmt)
         self._scope.pop()
@@ -820,10 +839,131 @@ def _assignment_leaves(target: ast.expr) -> Iterator[ast.expr]:
         yield target
 
 
+class _CtxMustWritten(DataflowAnalysis[frozenset[str]]):
+    """Forward must-analysis: ctx attributes written on *every* path.
+
+    Gen facts come from direct ``ctx.attr = ...`` stores and from calls
+    to same-module helpers that (transitively) write ctx attributes.
+    Join is intersection — a write only counts if no path avoids it —
+    and exception edges carry the pre-state, because a raising statement
+    never completes its store.
+    """
+
+    def __init__(
+        self, ctx_name: str, helper_writes: Mapping[str, frozenset[str]]
+    ) -> None:
+        self.ctx_name = ctx_name
+        self.helper_writes = helper_writes
+
+    def boundary(self) -> frozenset[str]:
+        return frozenset()
+
+    def join(self, states: Sequence[frozenset[str]]) -> frozenset[str]:
+        result = states[0]
+        for state in states[1:]:
+            result &= state
+        return result
+
+    def transfer(self, node: CFGNode, state: frozenset[str]) -> frozenset[str]:
+        written = self._written(node)
+        return state | written if written else state
+
+    def transfer_exception(
+        self, node: CFGNode, state: frozenset[str]
+    ) -> frozenset[str]:
+        return state
+
+    def _written(self, node: CFGNode) -> frozenset[str]:
+        written: set[str] = set()
+        for part in evaluated(node):
+            for sub in ast.walk(part):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.ctx, ast.Store)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == self.ctx_name
+                ):
+                    written.add(sub.attr)
+                elif (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and any(
+                        isinstance(arg, ast.Name) and arg.id == self.ctx_name
+                        for arg in sub.args
+                    )
+                ):
+                    written |= self.helper_writes.get(sub.func.id, frozenset())
+        return frozenset(written)
+
+
+def _transitive_ctx_writes(summary: ModuleSummary) -> dict[str, frozenset[str]]:
+    """Per module-level function: ctx attrs it writes, helpers included."""
+    writes: dict[str, set[str]] = {
+        name: set(info.ctx_writes) for name, info in summary.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, info in summary.functions.items():
+            for callee in info.ctx_calls:
+                extra = writes.get(callee)
+                if extra and not extra <= writes[name]:
+                    writes[name] |= extra
+                    changed = True
+    return {name: frozenset(attrs) for name, attrs in writes.items()}
+
+
+def _compute_ctx_maybe_unset(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ctx_name: str,
+    helper_writes: Mapping[str, frozenset[str]],
+) -> dict[str, int]:
+    """Attr -> first line of a ctx read not preceded by a write on every path."""
+    graph = build_cfg(node)
+    states = solve(graph, _CtxMustWritten(ctx_name, helper_writes))
+    analysis = _CtxMustWritten(ctx_name, helper_writes)
+    result: dict[str, int] = {}
+    for index, state in states.items():
+        cfg_node = graph.nodes[index]
+        # Self-initialising statements (``ctx.x = fill(ctx.x)``) write the
+        # attr they read; the read is then deliberate, not a gap.
+        own_writes = analysis._written(cfg_node)
+        for part in evaluated(cfg_node):
+            for sub in ast.walk(part):
+                if not (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.ctx, ast.Load)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == ctx_name
+                ):
+                    continue
+                attr = sub.attr
+                if attr in state or attr in own_writes:
+                    continue
+                line = sub.lineno
+                if attr not in result or line < result[attr]:
+                    result[attr] = line
+    return result
+
+
 def extract_module(name: str, path: str, tree: ast.Module) -> ModuleSummary:
-    """Build the :class:`ModuleSummary` for one parsed module."""
+    """Build the :class:`ModuleSummary` for one parsed module.
+
+    After the single-pass walk, a flow-sensitive post-pass computes
+    :attr:`FunctionInfo.ctx_maybe_unset` for every ctx-taking function:
+    a CFG per function, a must-written fixpoint over it, and a scan of
+    the reachable reads against the per-statement states.
+    """
     is_package = Path(path).name == "__init__.py"
-    return _Extractor(name, path, is_package).run(tree)
+    extractor = _Extractor(name, path, is_package)
+    summary = extractor.run(tree)
+    helper_writes = _transitive_ctx_writes(summary)
+    for info, def_node in extractor.ctx_functions:
+        assert info.ctx_param is not None
+        info.ctx_maybe_unset = _compute_ctx_maybe_unset(
+            def_node, info.ctx_param, helper_writes
+        )
+    return summary
 
 
 @dataclass

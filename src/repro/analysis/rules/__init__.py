@@ -29,7 +29,24 @@ RL102     :mod:`repro.analysis.rules.architecture`       layering contract
 RL103     :mod:`repro.analysis.rules.parallel_safety`    golden parallel parity
 RL104     :mod:`repro.analysis.rules.stage_contract`     stage kinds + dataflow
 RL105     :mod:`repro.analysis.rules.seeding`            seed propagation
+RL203     :mod:`repro.analysis.rules.ctx_refinement`     conditional ctx writes
 ========  =============================================  =======================
+
+Flow-sensitive rules (phase 3, one CFG + dataflow fixpoint per
+function; see :mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`):
+
+========  =============================================  =======================
+Rule id   Module                                         Guards
+========  =============================================  =======================
+RL201     :mod:`repro.analysis.rules.resource_lifetime`  handles closed on all paths
+RL202     :mod:`repro.analysis.rules.dtype_discipline`   packed-uint64 kernels
+RL204     :mod:`repro.analysis.rules.exception_hygiene`  SnapshotError, dead code
+RL205     :mod:`repro.analysis.rules.spawn_safety`       picklable initializers
+========  =============================================  =======================
+
+(RL203 consumes flow-sensitive ``ctx_maybe_unset`` facts from the model
+extractor but joins them *across* stages, so it registers as a phase-2
+project rule.)
 """
 
 # NOTE: no ``from __future__ import annotations`` here -- the future
@@ -38,25 +55,35 @@ RL105     :mod:`repro.analysis.rules.seeding`            seed propagation
 from repro.analysis.rules import (  # noqa: F401
     annotations,
     architecture,
+    ctx_refinement,
+    dtype_discipline,
     dynamic_exec,
+    exception_hygiene,
     float_equality,
     mutable_defaults,
     parallel_safety,
     print_calls,
     randomness,
+    resource_lifetime,
     seeding,
+    spawn_safety,
     stage_contract,
 )
 
 __all__ = [
     "annotations",
     "architecture",
+    "ctx_refinement",
+    "dtype_discipline",
     "dynamic_exec",
+    "exception_hygiene",
     "float_equality",
     "mutable_defaults",
     "parallel_safety",
     "print_calls",
     "randomness",
+    "resource_lifetime",
     "seeding",
+    "spawn_safety",
     "stage_contract",
 ]

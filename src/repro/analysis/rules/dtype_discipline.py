@@ -1,0 +1,330 @@
+"""RL202 -- numpy dtype discipline in the packed-Hamming kernels.
+
+The paper's speed claims live and die on the packed ``uint64`` word
+arrays staying ``uint64``: a bitwise op between mixed widths, or
+arithmetic mixing signed into unsigned, silently promotes (numpy sends
+``uint64 + int64`` and ``uint64 / x`` all the way to ``float64``) and
+the popcount kernels either crash or go slow-and-wrong.  The existing
+per-file rules cannot see this — whether ``xor`` is ``uint64`` at line
+40 depends on which assignment reached it.
+
+So RL202 runs an abstract dtype propagation over the function CFG: the
+state maps local names to a concrete dtype where every reaching
+assignment agrees (``np.uint64(...)`` casts, ``dtype=`` keyword /
+positional arguments including ``"<u8"``-style codes, ``.astype`` /
+``.view``, subscripts of known arrays, bitwise/arithmetic promotion).
+Unknown stays unknown — the rule only fires where both operand dtypes
+are positively established, so parameters and untyped intermediates
+never produce noise.  Flagged, per operator:
+
+* bitwise ops (``& | ^ << >>``) between two *different* known dtypes
+  (a plain-int shift amount or mask literal is fine — numpy keeps the
+  array dtype);
+* arithmetic mixing a known unsigned with a known signed dtype (numpy
+  promotes ``uint64 op int64`` to ``float64``);
+* true division with a known unsigned operand (always ``float64``;
+  use ``//`` or cast first).
+
+Scoped by default to the kernel-bearing layers (``repro.hamming``,
+``repro.core.persist``, ``repro.serve``); widen per-config if another
+layer grows numpy kernels.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.cfg import CFG, CFGNode, evaluated
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.analysis.engine import FileContext, Finding, FlowRule
+from repro.analysis.rules.common import dotted_name
+
+#: Abstract values: numpy dtype names, plus python scalar literals.
+_PY_INT = "python-int"
+_PY_FLOAT = "python-float"
+
+_UNSIGNED = frozenset({"uint8", "uint16", "uint32", "uint64"})
+_SIGNED = frozenset({"int8", "int16", "int32", "int64"})
+_DTYPE_NAMES = _UNSIGNED | _SIGNED | frozenset({"float32", "float64", "bool"})
+
+#: numpy dtype string codes -> canonical names ("<u8", "u8", "=i4", ...).
+_DTYPE_CODES = {
+    "u1": "uint8",
+    "u2": "uint16",
+    "u4": "uint32",
+    "u8": "uint64",
+    "i1": "int8",
+    "i2": "int16",
+    "i4": "int32",
+    "i8": "int64",
+    "f4": "float32",
+    "f8": "float64",
+}
+
+#: Constructors whose dtype is given by a ``dtype=`` kwarg or the
+#: positional argument at the mapped index.
+_DTYPE_ARG_CONSTRUCTORS = {
+    "array": 1,
+    "asarray": 1,
+    "ascontiguousarray": 1,
+    "asfortranarray": 1,
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "full": 2,
+    "arange": -1,  # dtype is keyword-only in practice
+    "frombuffer": 1,
+    "fromiter": 1,
+}
+
+_BITWISE_OPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.LShift, ast.RShift)
+_SHIFT_OPS = (ast.LShift, ast.RShift)
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod, ast.Pow)
+
+#: Environment: tuple of sorted (name, dtype) pairs — hashable, ``==``-able.
+_Env = tuple[tuple[str, str], ...]
+
+
+def _env_get(env: _Env, name: str) -> str | None:
+    for key, value in env:
+        if key == name:
+            return value
+    return None
+
+
+def _dtype_from_expr(expr: ast.expr) -> str | None:
+    """Parse an expression *denoting* a dtype: ``np.uint64``, ``"<u8"``."""
+    name = dotted_name(expr)
+    if name is not None:
+        tail = name.split(".")[-1]
+        if tail in _DTYPE_NAMES:
+            return tail
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        code = expr.value.lstrip("<>=|")
+        if code in _DTYPE_CODES:
+            return _DTYPE_CODES[code]
+        if code in _DTYPE_NAMES:
+            return code
+    return None
+
+
+def _call_dtype(call: ast.Call, env: _Env) -> str | None:
+    name = dotted_name(call.func)
+    if name is not None:
+        tail = name.split(".")[-1]
+        # ``np.uint64(x)`` and friends: an explicit cast.
+        if tail in _DTYPE_NAMES and len(name.split(".")) <= 2:
+            return tail
+        if tail == "bitwise_count":
+            return "uint8"
+        position = _DTYPE_ARG_CONSTRUCTORS.get(tail)
+        if position is not None:
+            for keyword in call.keywords:
+                if keyword.arg == "dtype":
+                    return _dtype_from_expr(keyword.value)
+            if 0 <= position < len(call.args):
+                return _dtype_from_expr(call.args[position])
+            return None
+    if isinstance(call.func, ast.Attribute) and call.func.attr in (
+        "astype",
+        "view",
+    ):
+        if call.args:
+            return _dtype_from_expr(call.args[0])
+        for keyword in call.keywords:
+            if keyword.arg == "dtype":
+                return _dtype_from_expr(keyword.value)
+    return None
+
+
+def _dtype_of(expr: ast.expr | None, env: _Env) -> str | None:
+    """Abstract dtype of an expression, or None when not established."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return None
+        if isinstance(expr.value, int):
+            return _PY_INT
+        if isinstance(expr.value, float):
+            return _PY_FLOAT
+        return None
+    if isinstance(expr, ast.Name):
+        return _env_get(env, expr.id)
+    if isinstance(expr, ast.Subscript):
+        return _dtype_of(expr.value, env)  # a slice/element keeps the dtype
+    if isinstance(expr, ast.UnaryOp):
+        if isinstance(expr.op, (ast.Invert, ast.UAdd, ast.USub)):
+            return _dtype_of(expr.operand, env)
+        return None
+    if isinstance(expr, ast.Call):
+        return _call_dtype(expr, env)
+    if isinstance(expr, ast.BinOp):
+        return _binop_dtype(expr, env)
+    if isinstance(expr, ast.IfExp):
+        a = _dtype_of(expr.body, env)
+        b = _dtype_of(expr.orelse, env)
+        return a if a == b else None
+    return None
+
+
+def _binop_dtype(expr: ast.BinOp, env: _Env) -> str | None:
+    left = _dtype_of(expr.left, env)
+    right = _dtype_of(expr.right, env)
+    if isinstance(expr.op, ast.Div):
+        return "float64" if left or right else None
+    if isinstance(expr.op, _SHIFT_OPS) and right == _PY_INT:
+        return left
+    if left == _PY_INT or left == _PY_FLOAT:
+        left, right = right, left
+    if right in (_PY_INT, _PY_FLOAT):
+        if left in _DTYPE_NAMES:
+            # Array op python scalar keeps the array dtype (NEP 50), except
+            # a float scalar promotes integer arrays.
+            if right == _PY_FLOAT and left not in ("float32", "float64"):
+                return "float64"
+            return left
+        if left == right:
+            return left
+        return None
+    if left == right:
+        return left
+    return None  # mixed known dtypes: promoted — and flagged in the emit pass
+
+
+class _DtypeEnv(DataflowAnalysis[_Env]):
+    """Forward propagation of established dtypes through assignments."""
+
+    def boundary(self) -> _Env:
+        return ()
+
+    def join(self, states: Sequence[_Env]) -> _Env:
+        first = dict(states[0])
+        for state in states[1:]:
+            other = dict(state)
+            first = {
+                name: value
+                for name, value in first.items()
+                if other.get(name) == value
+            }
+        return tuple(sorted(first.items()))
+
+    def transfer(self, node: CFGNode, state: _Env) -> _Env:
+        stmt = node.stmt
+        env = dict(state)
+        stored: set[str] = set()
+        for part in evaluated(node):
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    stored.add(sub.id)
+        for name in stored:
+            env.pop(name, None)
+        target: str | None = None
+        value_dtype: str | None = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            target = stmt.targets[0].id
+            value_dtype = _dtype_of(stmt.value, state)
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.value is not None
+        ):
+            target = stmt.target.id
+            value_dtype = _dtype_of(stmt.value, state)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            target = stmt.target.id
+            synthetic = ast.BinOp(
+                left=ast.Name(id=target, ctx=ast.Load()),
+                op=stmt.op,
+                right=stmt.value,
+            )
+            value_dtype = _binop_dtype(synthetic, state)
+        if target is not None and value_dtype is not None:
+            env[target] = value_dtype
+        return tuple(sorted(env.items()))
+
+    def transfer_exception(self, node: CFGNode, state: _Env) -> _Env:
+        env = dict(state)
+        for part in evaluated(node):
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    env.pop(sub.id, None)
+        return tuple(sorted(env.items()))
+
+
+class DtypeDiscipline(FlowRule):
+    rule_id = "RL202"
+    summary = "packed-kernel arrays must not silently promote out of uint64"
+    default_include = (
+        "src/repro/hamming/*",
+        "src/repro/core/persist.py",
+        "src/repro/serve/*",
+    )
+
+    def check_function(
+        self,
+        graph: CFG,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: FileContext,
+    ) -> Iterable[Finding]:
+        states = solve(graph, _DtypeEnv())
+        reported: set[tuple[int, int]] = set()
+        for cfg_node in graph.nodes:
+            env = states.get(cfg_node.index)
+            if env is None:
+                continue  # unreachable
+            for part in evaluated(cfg_node):
+                for sub in ast.walk(part):
+                    if not isinstance(sub, ast.BinOp):
+                        continue
+                    message = self._violation(sub, env)
+                    if message is None:
+                        continue
+                    key = (sub.lineno, sub.col_offset)
+                    if key in reported:
+                        continue  # finally-copied nodes revisit statements
+                    reported.add(key)
+                    yield self.make_finding(sub, ctx, message)
+
+    def _violation(self, op: ast.BinOp, env: _Env) -> str | None:
+        left = _dtype_of(op.left, env)
+        right = _dtype_of(op.right, env)
+        if isinstance(op.op, ast.Div):
+            for side in (left, right):
+                if side in _UNSIGNED:
+                    return (
+                        f"true division on `{side}` values promotes to "
+                        "float64; use `//` or cast explicitly first"
+                    )
+            return None
+        if left not in _DTYPE_NAMES or right not in _DTYPE_NAMES:
+            return None  # at least one side not positively established
+        if isinstance(op.op, _BITWISE_OPS):
+            if left != right:
+                return (
+                    f"bitwise op mixes `{left}` and `{right}`; mixed-width "
+                    "operands promote (or fail) — cast both sides to one "
+                    "dtype first"
+                )
+            return None
+        if isinstance(op.op, _ARITH_OPS):
+            if (left in _UNSIGNED and right in _SIGNED) or (
+                left in _SIGNED and right in _UNSIGNED
+            ):
+                return (
+                    f"arithmetic mixes `{left}` and `{right}`; numpy "
+                    "promotes unsigned-with-signed to float64 — cast to a "
+                    "common integer dtype first"
+                )
+        return None

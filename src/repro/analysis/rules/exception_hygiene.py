@@ -1,0 +1,202 @@
+"""RL204 -- exception-path hygiene: swallowed SnapshotError, dead code.
+
+Two checks that both need the function's control flow rather than its
+syntax:
+
+1. **Swallowed ``SnapshotError``.**  The persistence layer funnels every
+   corrupt-bundle condition into :class:`repro.core.persist.SnapshotError`
+   (a ``ValueError`` subclass) so serving code can distinguish "bad
+   bundle" from "bad query".  A ``try`` whose body does snapshot I/O and
+   whose matching handler is broad (bare, ``Exception``,
+   ``BaseException`` or ``ValueError``) without re-raising turns a
+   corrupt index into a silent empty result.  Handlers that name
+   ``SnapshotError`` explicitly, or that contain a ``raise``, are fine.
+
+2. **Unreachable statements.**  Code after a ``raise``/``return``/
+   ``break``/``continue`` (or after a ``while True`` with no ``break``)
+   never runs; in reviewed serving code this is almost always a
+   refactoring leftover silently disabling a cleanup or a fallback.  The
+   check is CFG-reachability, so branches merging back in are never
+   false-flagged, and only the *first* statement of each dead run is
+   reported.  Dynamic terminators the CFG does not model (``sys.exit``,
+   ``assert False``) keep their successors "reachable" — conservative in
+   the no-false-positives direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.cfg import CFG
+from repro.analysis.engine import FileContext, Finding, FlowRule
+from repro.analysis.rules.common import dotted_name
+
+#: Handler types broad enough to (also) catch SnapshotError.
+_BROAD_TYPES = frozenset({"BaseException", "Exception", "ValueError"})
+
+#: Call-name tails that positively indicate snapshot I/O.
+_SNAPSHOT_CALLS = frozenset(
+    {"load_index_snapshot", "save_index_snapshot", "from_snapshot"}
+)
+
+
+def _own_statements(
+    body: list[ast.stmt],
+) -> Iterator[tuple[list[ast.stmt], int, ast.stmt]]:
+    """Yield (containing block, index, stmt) without entering nested defs."""
+    for index, stmt in enumerate(body):
+        yield body, index, stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for field_body in _stmt_blocks(stmt):
+            yield from _own_statements(field_body)
+
+
+def _stmt_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+    for case in getattr(stmt, "cases", []):
+        yield case.body
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested def/class bodies."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _raises_snapshot_error(body: list[ast.stmt]) -> bool:
+    """Does executing this block plausibly raise SnapshotError?"""
+    wrapper = ast.Module(body=body, type_ignores=[])
+    for node in _walk_own(wrapper):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            tail = name.split(".")[-1] if name else None
+            if tail is None and isinstance(node.func, ast.Attribute):
+                tail = node.func.attr
+            if tail in _SNAPSHOT_CALLS:
+                return True
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = dotted_name(target)
+            if name is not None and name.split(".")[-1] == "SnapshotError":
+                return True
+    return False
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    if handler.type is None:
+        return []
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = []
+    for expr in types:
+        name = dotted_name(expr)
+        if name is not None:
+            names.append(name.split(".")[-1])
+    return names
+
+
+class ExceptionHygiene(FlowRule):
+    rule_id = "RL204"
+    summary = "broad handlers must not swallow SnapshotError; no dead code"
+
+    def check_function(
+        self,
+        graph: CFG,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: FileContext,
+    ) -> Iterable[Finding]:
+        yield from self._check_swallowed(node, ctx)
+        yield from self._check_unreachable(graph, node, ctx)
+
+    # -- swallowed SnapshotError --------------------------------------
+
+    def _check_swallowed(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: FileContext
+    ) -> Iterable[Finding]:
+        for sub in _walk_own(node):
+            if not isinstance(sub, ast.Try):
+                continue  # (except* groups are out of scope)
+            if not _raises_snapshot_error(sub.body):
+                continue
+            for handler in sub.handlers:
+                names = _handler_names(handler)
+                if "SnapshotError" in names:
+                    break  # explicitly handled before any broad handler
+                is_broad = handler.type is None or any(
+                    name in _BROAD_TYPES for name in names
+                )
+                if not is_broad:
+                    continue
+                reraises = any(
+                    isinstance(inner, ast.Raise)
+                    for inner in _walk_own(handler)
+                )
+                if not reraises:
+                    yield self.make_finding(
+                        handler,
+                        ctx,
+                        "broad `except` swallows SnapshotError raised by "
+                        "snapshot I/O in this `try`; catch SnapshotError "
+                        "explicitly or re-raise",
+                    )
+                break  # exceptions stop at the first matching handler
+
+    # -- unreachable statements ---------------------------------------
+
+    def _check_unreachable(
+        self,
+        graph: CFG,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: FileContext,
+    ) -> Iterable[Finding]:
+        reachable_ids = graph.reachable()
+        # A finally-copied statement backs several nodes; it is live if
+        # *any* copy is.
+        live: set[int] = set()
+        dead: set[int] = set()
+        for cfg_node in graph.nodes:
+            if cfg_node.stmt is None:
+                continue
+            if cfg_node.index in reachable_ids:
+                live.add(id(cfg_node.stmt))
+            else:
+                dead.add(id(cfg_node.stmt))
+        dead -= live
+        if not dead:
+            return
+        for block, index, stmt in _own_statements(node.body):
+            if id(stmt) not in dead:
+                continue
+            prev_dead = index > 0 and id(block[index - 1]) in dead
+            if prev_dead:
+                continue  # only report the first statement of a dead run
+            if index == 0:
+                # The whole block is dead because its parent is; the
+                # parent (or the run it belongs to) carries the report.
+                parent = ctx.parents.get(stmt)
+                if parent is not None and id(parent) in dead:
+                    continue
+            yield self.make_finding(
+                stmt,
+                ctx,
+                "statement is unreachable (every path into it ends in "
+                "raise/return/break/continue)",
+            )

@@ -1,0 +1,177 @@
+"""RL205 -- spawn-safe initializers: no lambdas or nested defs.
+
+``repro.perf.parallel_map`` promises byte-identical results for every
+backend and start method — including ``"spawn"``, which pickles the
+worker, the initializer and every initializer argument into the child
+process.  A lambda or a nested ``def`` cannot be pickled, so a config
+that works under ``fork`` (or the thread backend) crashes the moment
+someone flips ``start_method="spawn"``; that is precisely the class of
+latent divergence the parallel layer exists to rule out.
+
+RL103 already audits the *body* of resolvable workers and initializers
+through the project model.  RL205 covers the complementary, per-file,
+flow-sensitive half: at every ``ParallelConfig(...)`` /
+``parallel_map(...)`` call site, the ``initializer=`` callable and each
+element of ``initargs=`` must not be a lambda / generator expression
+written inline *or a name currently bound to one*.  "Currently bound"
+is the flow-sensitive part — a name rebound from a lambda to a
+module-level callable before the call site is legal, and the rule
+tracks that through branches with a forward dataflow pass (a name is
+flagged only when *every* analysis fact agrees it holds an unpicklable
+value; merged branches that disagree stay silent).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.cfg import CFG, CFGNode, evaluated
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.analysis.engine import FileContext, Finding, FlowRule
+from repro.analysis.rules.common import dotted_name
+
+#: Environment: sorted (name, "lambda" | "nested def") pairs.
+_Env = tuple[tuple[str, str], ...]
+
+
+def _env_get(env: _Env, name: str) -> str | None:
+    for key, value in env:
+        if key == name:
+            return value
+    return None
+
+
+class _UnpicklableBindings(DataflowAnalysis[_Env]):
+    """Forward tracking of names bound to lambdas / nested defs."""
+
+    def boundary(self) -> _Env:
+        return ()
+
+    def join(self, states: Sequence[_Env]) -> _Env:
+        first = dict(states[0])
+        for state in states[1:]:
+            other = dict(state)
+            first = {
+                name: value
+                for name, value in first.items()
+                if other.get(name) == value
+            }
+        return tuple(sorted(first.items()))
+
+    def transfer(self, node: CFGNode, state: _Env) -> _Env:
+        stmt = node.stmt
+        env = dict(state)
+        for part in evaluated(node):
+            for sub in ast.walk(part):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)
+                ):
+                    env.pop(sub.id, None)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            env[stmt.name] = "nested def"
+        elif (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Lambda)
+        ):
+            env[stmt.targets[0].id] = "lambda"
+        return tuple(sorted(env.items()))
+
+
+class SpawnSafety(FlowRule):
+    rule_id = "RL205"
+    summary = "ParallelConfig/parallel_map initializers must be picklable"
+    default_exclude = ("tests/*", "test_*.py", "conftest.py")
+
+    def check_function(
+        self,
+        graph: CFG,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: FileContext,
+    ) -> Iterable[Finding]:
+        states = solve(graph, _UnpicklableBindings())
+        reported: set[tuple[int, int, str]] = set()
+        for cfg_node in graph.nodes:
+            env = states.get(cfg_node.index)
+            if env is None:
+                continue
+            for part in evaluated(cfg_node):
+                for sub in ast.walk(part):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    name = dotted_name(sub.func)
+                    if name is None:
+                        continue
+                    tail = name.split(".")[-1]
+                    if tail not in ("ParallelConfig", "parallel_map"):
+                        continue
+                    for finding in self._check_call(sub, env, ctx):
+                        key = (finding.line, finding.col, finding.message)
+                        if key not in reported:
+                            reported.add(key)
+                            yield finding
+
+    def _check_call(
+        self, call: ast.Call, env: _Env, ctx: FileContext
+    ) -> Iterable[Finding]:
+        for keyword in call.keywords:
+            if keyword.arg == "initializer":
+                yield from self._check_callable(
+                    keyword.value, env, ctx, "initializer"
+                )
+            elif keyword.arg == "initargs":
+                value = keyword.value
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for element in value.elts:
+                        yield from self._check_payload(element, env, ctx)
+
+    def _check_callable(
+        self, expr: ast.expr, env: _Env, ctx: FileContext, role: str
+    ) -> Iterable[Finding]:
+        if isinstance(expr, ast.Lambda):
+            yield self.make_finding(
+                expr,
+                ctx,
+                f"{role} is a lambda; spawn start methods pickle the "
+                f"{role}, so it must be a module-level callable",
+            )
+            return
+        if isinstance(expr, ast.Name):
+            bound = _env_get(env, expr.id)
+            if bound is not None:
+                yield self.make_finding(
+                    expr,
+                    ctx,
+                    f"{role} `{expr.id}` is bound to a {bound} here; spawn "
+                    f"start methods pickle the {role}, so it must be a "
+                    "module-level callable",
+                )
+
+    def _check_payload(
+        self, expr: ast.expr, env: _Env, ctx: FileContext
+    ) -> Iterable[Finding]:
+        if isinstance(expr, (ast.Lambda, ast.GeneratorExp)):
+            what = (
+                "a lambda"
+                if isinstance(expr, ast.Lambda)
+                else "a generator expression"
+            )
+            yield self.make_finding(
+                expr,
+                ctx,
+                f"initargs element is {what}, which cannot be pickled to "
+                "spawn-started workers; pass module-level, picklable values",
+            )
+            return
+        if isinstance(expr, ast.Name):
+            bound = _env_get(env, expr.id)
+            if bound is not None:
+                yield self.make_finding(
+                    expr,
+                    ctx,
+                    f"initargs element `{expr.id}` is bound to a {bound} "
+                    "here, which cannot be pickled to spawn-started "
+                    "workers; pass module-level, picklable values",
+                )

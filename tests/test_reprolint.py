@@ -613,6 +613,32 @@ class TestIncrementalCache:
         assert stats["parsed"] == 1 and stats["cache_hits"] == 0
         assert findings == []
 
+    def test_structurally_corrupt_cache_degrades_to_cold(self, tmp_path):
+        # Valid JSON with the right version/fingerprint but garbage
+        # entries: the loader must fall back to an empty cache.
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        config = LintConfig()
+        cache = _fresh_cache(tmp_path, config)
+        import json as json_mod
+
+        from repro.analysis.cache import CACHE_VERSION
+
+        (tmp_path / "cache.json").write_text(
+            json_mod.dumps(
+                {
+                    "version": CACHE_VERSION,
+                    "fingerprint": cache.fingerprint,
+                    "files": {"one.py": {"bogus": True}},
+                }
+            )
+        )
+        stats = {}
+        findings = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 0
+        assert [f.rule_id for f in findings] == ["RL002"]
+
     def test_corrupt_cache_degrades_to_cold(self, tmp_path):
         (tmp_path / "one.py").write_text("x = eval('1')\n")
         (tmp_path / "cache.json").write_text("{broken json")
@@ -644,6 +670,130 @@ class TestIncrementalCache:
         lint_main([str(target), "--cache-path", str(cache_path), "--stats"])
         err = capsys.readouterr().err
         assert "1 cache hit(s)" in err
+
+
+class TestCacheMigration:
+    """Version bumps and config edits must drop the cache cleanly.
+
+    Three distinct invalidation channels: the cache format version
+    (changes the fingerprint *and* the stored ``version`` field), the
+    module-summary schema version (the fingerprint captured at import
+    time stays valid, so stale summaries must be rejected entry by
+    entry), and the ``[tool.reprolint]`` table (flows into the config
+    fingerprint via the ``LintConfig`` repr).
+    """
+
+    def test_cache_version_bump_forces_cold_run(self, tmp_path, monkeypatch):
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        import repro.analysis.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "CACHE_VERSION", cache_mod.CACHE_VERSION + 1
+        )
+        stats = {}
+        findings = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 0
+        assert [f.rule_id for f in findings] == ["RL002"]
+
+    def test_summary_version_bump_rejects_stored_summaries(
+        self, tmp_path, monkeypatch
+    ):
+        # Patch only the extractor's version: repro.analysis.cache holds
+        # its own imported SUMMARY_VERSION binding, so the cache
+        # fingerprint still matches and the file is *accepted* — but
+        # every stored ModuleSummary is now stale and from_dict rejects
+        # it, forcing a clean re-parse instead of replaying stale facts.
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        import repro.analysis.project as project_mod
+
+        monkeypatch.setattr(
+            project_mod, "SUMMARY_VERSION", project_mod.SUMMARY_VERSION + 1
+        )
+        stats = {}
+        findings = lint_paths(
+            [tmp_path], config, cache=_fresh_cache(tmp_path, config), stats=stats
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 0
+        assert [f.rule_id for f in findings] == ["RL002"]
+
+    def test_new_rule_id_changes_fingerprint(self, tmp_path):
+        (tmp_path / "one.py").write_text("x = eval('1')\n")
+        config = LintConfig()
+        lint_paths([tmp_path], config, cache=_fresh_cache(tmp_path, config))
+        grown = config_fingerprint(config, sorted([*all_rule_ids(), "RL999"]))
+        stats = {}
+        lint_paths(
+            [tmp_path],
+            config,
+            cache=LintCache.load(tmp_path / "cache.json", grown),
+            stats=stats,
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 0
+
+    def test_pyproject_edit_forces_cold_run(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = eval('1')\n")
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text("[tool.reprolint]\n")
+        config = load_config(pyproject)
+        lint_paths([target], config, cache=_fresh_cache(tmp_path, config))
+        pyproject.write_text(
+            '[tool.reprolint]\n[tool.reprolint.rules.RL002]\nseverity = "warn"\n'
+        )
+        edited = load_config(pyproject)
+        stats = {}
+        findings = lint_paths(
+            [target], edited, cache=_fresh_cache(tmp_path, edited), stats=stats
+        )
+        assert stats["parsed"] == 1 and stats["cache_hits"] == 0
+        assert [f.severity for f in findings] == ["warn"]
+
+
+class TestOutputFlag:
+    """``repro lint --output FILE`` writes the report file directly."""
+
+    def test_output_writes_report_file(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("x = eval('1')\n")
+        report = tmp_path / "reprolint.sarif"
+        status = lint_main(
+            [str(target), "--no-cache", "--format", "sarif",
+             "--output", str(report)]
+        )
+        assert status == 1  # findings still gate the exit code
+        assert capsys.readouterr().out == ""  # report went to the file
+        payload = json.loads(report.read_text())
+        assert payload["runs"][0]["results"][0]["ruleId"] == "RL002"
+
+    def test_output_with_stats_keeps_streams_separate(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X: int = 1\n")
+        report = tmp_path / "report.json"
+        status = lint_main(
+            [str(target), "--no-cache", "--format", "json", "--stats",
+             "--output", str(report)]
+        )
+        captured = capsys.readouterr()
+        assert status == 0
+        assert captured.out == ""
+        assert "file phase" in captured.err
+        assert json.loads(report.read_text()) == {"count": 0, "findings": []}
+
+    def test_unwritable_output_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X: int = 1\n")
+        missing_dir = tmp_path / "no" / "such" / "dir" / "out.json"
+        status = lint_main(
+            [str(target), "--no-cache", "--output", str(missing_dir)]
+        )
+        assert status == 2
+        assert "cannot write" in capsys.readouterr().err
 
 
 class TestSelfHosting:
