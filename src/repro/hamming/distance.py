@@ -55,6 +55,19 @@ def masked_hamming_rows(
     """
     if not 0 <= start < stop:
         raise ValueError(f"invalid bit range [{start}, {stop})")
+    packed_bits = 64 * int(min(words_a.shape[-1], words_b.shape[-1]))
+    if stop > packed_bits:
+        raise ValueError(
+            f"bit range [{start}, {stop}) exceeds the packed width "
+            f"({packed_bits} bits)"
+        )
+    rows_a = np.asarray(rows_a, dtype=np.int64)
+    rows_b = np.asarray(rows_b, dtype=np.int64)
+    if rows_a.shape != rows_b.shape:
+        raise ValueError(
+            f"rows_a and rows_b must be parallel arrays, got "
+            f"{rows_a.shape} vs {rows_b.shape}"
+        )
     w_lo, o_lo = divmod(start, 64)
     w_hi, o_hi = divmod(stop, 64)
     last_word = w_hi if o_hi else w_hi - 1

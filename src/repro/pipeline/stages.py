@@ -14,7 +14,7 @@ module-level so the process backend can pickle them by qualified name.
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.pipeline.stage import (
     VerifyStage,
 )
 
+if TYPE_CHECKING:
+    from repro.hamming.sketch import VerifyConfig
+
 #: Per-worker verification state: the packed words of both matrices are
 #: shipped once per worker (executor initializer), not once per chunk.
 _VERIFY_STATE: dict[str, np.ndarray] = {}
@@ -41,14 +44,31 @@ def _init_verify_worker(words_a: np.ndarray, words_b: np.ndarray) -> None:
 
 
 def _verify_chunk(
-    task: tuple[np.ndarray, np.ndarray, int],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Worker: Hamming-verify one candidate chunk against the threshold."""
-    rows_a, rows_b, threshold = task
+    task: tuple[np.ndarray, np.ndarray, int, "VerifyConfig | None"],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, float]]:
+    """Worker: Hamming-verify one candidate chunk against the threshold.
+
+    With an enabled :class:`~repro.hamming.sketch.VerifyConfig` the chunk
+    runs through the tiered sketch prefilter (byte-identical output, see
+    that module); otherwise the plain full-width packed sweep.  The
+    per-chunk prefilter counters travel back with the kept pairs so the
+    stage can merge them without shared worker state.
+    """
+    rows_a, rows_b, threshold, config = task
+    if config is not None and config.enabled:
+        # Runtime import: repro.pipeline stays import-leaf (module docstring).
+        from repro.hamming.sketch import verify_pairs
+
+        counters: dict[str, float] = {}
+        kept_a, kept_b, dist = verify_pairs(
+            _VERIFY_STATE["a"], rows_a, _VERIFY_STATE["b"], rows_b,
+            threshold, config, counters,
+        )
+        return kept_a, kept_b, dist, counters
     xor = _VERIFY_STATE["a"][rows_a] ^ _VERIFY_STATE["b"][rows_b]
     dist = np.bitwise_count(xor).sum(axis=1).astype(np.int64)
     keep = dist <= threshold
-    return rows_a[keep], rows_b[keep], dist[keep]
+    return rows_a[keep], rows_b[keep], dist[keep], {}
 
 
 def _packed_words(embedded: Any) -> np.ndarray:
@@ -249,11 +269,25 @@ class ThresholdVerifyStage(VerifyStage):
     ``sort_pairs=True`` restores the historical cBV-HB order (sorted by
     encoded pair id ``a * n_B + b``); the classic baselines keep their
     natural candidate order.
+
+    ``verify`` enables the sketch prefilter
+    (:mod:`repro.hamming.sketch`): each chunk early-rejects candidates
+    whose partial word-subset distance already exceeds the threshold and
+    cache-blocks the exact sweep for the survivors.  Output stays
+    byte-identical; the per-tier rejection counters
+    (``pairs_rejected_t<i>``, ``pairs_exact``, ``prefilter_reject_rate``)
+    are merged into the run counters.
     """
 
-    def __init__(self, threshold: int, sort_pairs: bool = False):
+    def __init__(
+        self,
+        threshold: int,
+        sort_pairs: bool = False,
+        verify: "VerifyConfig | None" = None,
+    ):
         self.threshold = threshold
         self.sort_pairs = sort_pairs
+        self.verify = verify
 
     def run(self, ctx: PipelineContext) -> None:
         chunks = ctx.candidate_chunks
@@ -269,7 +303,10 @@ class ThresholdVerifyStage(VerifyStage):
             empty = np.empty(0, dtype=np.int64)
             ctx.out_a, ctx.out_b, ctx.record_distances = empty, empty, empty
             return
-        tasks = [(chunk_a, chunk_b, self.threshold) for chunk_a, chunk_b in chunks]
+        tasks = [
+            (chunk_a, chunk_b, self.threshold, self.verify)
+            for chunk_a, chunk_b in chunks
+        ]
         parts = parallel_map(
             _verify_chunk,
             tasks,
@@ -280,6 +317,14 @@ class ThresholdVerifyStage(VerifyStage):
         out_a = np.concatenate([p[0] for p in parts])
         out_b = np.concatenate([p[1] for p in parts])
         dist = np.concatenate([p[2] for p in parts])
+        if self.verify is not None and self.verify.enabled:
+            # Runtime import: repro.pipeline stays import-leaf.
+            from repro.hamming.sketch import reject_rate
+
+            for part in parts:
+                for key, value in part[3].items():
+                    ctx.counters[key] = ctx.counters.get(key, 0.0) + value
+            ctx.counters["prefilter_reject_rate"] = reject_rate(ctx.counters)
         if self.sort_pairs:
             order = np.argsort(out_a * len(ctx.rows_b) + out_b, kind="stable")
             out_a, out_b, dist = out_a[order], out_b[order], dist[order]

@@ -33,6 +33,7 @@ from repro.core.encoder import RecordEncoder
 from repro.core.persist import IndexSnapshot, load_index_snapshot, save_index_snapshot
 from repro.hamming.lsh import HammingLSH
 from repro.hamming.query import batch_query, group_matches
+from repro.hamming.sketch import VerifyConfig, reject_rate
 from repro.perf import ParallelConfig, parallel_map
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -56,19 +57,28 @@ def _init_query_worker(source: str | IndexSnapshot, mmap_mode: str | None) -> No
 
 
 def _query_shard(
-    task: tuple[list[tuple[str, ...]], int, int | None],
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Answer one contiguous shard of query rows against the attached index."""
-    rows, threshold, top_k = task
+    task: tuple[list[tuple[str, ...]], int, int | None, VerifyConfig | None],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, float]]:
+    """Answer one contiguous shard of query rows against the attached index.
+
+    Returns the shard's grouped match arrays plus its prefilter counters
+    (empty when the sketch prefilter is off) — workers stay pure, the
+    engine merges counters additively.
+    """
+    rows, threshold, top_k, verify = task
     snapshot: IndexSnapshot = _WORKER_STATE["snapshot"]
     matrix_b = snapshot.encoder.encode_dataset(rows)
-    return batch_query(
+    counters: dict[str, float] = {}
+    queries, ids, distances = batch_query(
         snapshot.lsh,
         snapshot.matrix.words,
         matrix_b,
         threshold=threshold,
         top_k=top_k,
+        verify=verify,
+        counters=counters,
     )
+    return queries, ids, distances, counters
 
 
 @dataclass(frozen=True)
@@ -121,6 +131,7 @@ class QueryEngine:
         snapshot: IndexSnapshot,
         parallel: ParallelConfig | None = None,
         mmap_mode: str | None = "r",
+        verify: VerifyConfig | None = None,
     ):
         if snapshot.threshold is None:
             raise ValueError(
@@ -130,6 +141,11 @@ class QueryEngine:
         self.snapshot = snapshot
         self.parallel = parallel or ParallelConfig()
         self._mmap_mode = mmap_mode
+        self.verify = verify
+        #: Prefilter counters summed over every served batch
+        #: (``pairs_prefiltered``, ``pairs_rejected_t<i>``, ``pairs_exact``,
+        #: ``prefilter_reject_rate``); empty while the prefilter is off.
+        self.stats: dict[str, float] = {}
 
     # -- constructors ------------------------------------------------------------
 
@@ -139,10 +155,11 @@ class QueryEngine:
         path: str | Path,
         parallel: ParallelConfig | None = None,
         mmap_mode: str | None = "r",
+        verify: VerifyConfig | None = None,
     ) -> "QueryEngine":
         """Serve a persisted bundle; payloads stay memory-mapped (zero-copy)."""
         snapshot = load_index_snapshot(path, mmap_mode=mmap_mode)
-        return cls(snapshot, parallel=parallel, mmap_mode=mmap_mode)
+        return cls(snapshot, parallel=parallel, mmap_mode=mmap_mode, verify=verify)
 
     @classmethod
     def build(
@@ -156,6 +173,7 @@ class QueryEngine:
         seed: int | None = None,
         max_chunk_pairs: int | None = None,
         parallel: ParallelConfig | None = None,
+        verify: VerifyConfig | None = None,
     ) -> "QueryEngine":
         """Index ``rows`` in memory under a calibrated ``encoder``.
 
@@ -177,7 +195,7 @@ class QueryEngine:
         snapshot = IndexSnapshot(
             encoder=encoder, matrix=matrix, lsh=lsh, threshold=threshold
         )
-        return cls(snapshot, parallel=parallel)
+        return cls(snapshot, parallel=parallel, verify=verify)
 
     # -- persistence -------------------------------------------------------------
 
@@ -227,6 +245,12 @@ class QueryEngine:
         shards (:meth:`~repro.perf.ParallelConfig.shard_ranges`); each
         worker attaches the index once via the pool initializer, so only
         the query rows travel per task.
+
+        When the engine was built with an enabled
+        :class:`~repro.hamming.sketch.VerifyConfig`, candidate
+        verification runs through the sketch prefilter (same matches,
+        byte-identical) and the per-tier counters are summed into
+        :attr:`stats`.
         """
         effective = self.threshold if threshold is None else threshold
         work = [tuple(row) for row in rows]
@@ -235,12 +259,15 @@ class QueryEngine:
         shards = self.parallel.shard_ranges(len(work))
         if self.parallel.effective_jobs <= 1 or len(shards) <= 1:
             _init_query_worker(self.snapshot, self._mmap_mode)
-            queries, ids, distances = _query_shard((work, effective, top_k))
+            queries, ids, distances, counters = _query_shard(
+                (work, effective, top_k, self.verify)
+            )
+            self._merge_stats(counters)
             return QueryResult(queries, ids, distances, len(work))
         source: str | IndexSnapshot = self.snapshot
         if self.parallel.backend == "process" and self.snapshot.path is not None:
             source = str(self.snapshot.path)
-        tasks = [(work[lo:hi], effective, top_k) for lo, hi in shards]
+        tasks = [(work[lo:hi], effective, top_k, self.verify) for lo, hi in shards]
         parts = parallel_map(
             _query_shard,
             tasks,
@@ -253,7 +280,17 @@ class QueryEngine:
         )
         ids = np.concatenate([part[1] for part in parts])
         distances = np.concatenate([part[2] for part in parts])
+        for part in parts:
+            self._merge_stats(part[3])
         return QueryResult(queries, ids, distances, len(work))
+
+    def _merge_stats(self, counters: dict[str, float]) -> None:
+        """Fold one shard's prefilter counters into the engine stats."""
+        if not counters:
+            return
+        for key, value in counters.items():
+            self.stats[key] = self.stats.get(key, 0.0) + value
+        self.stats["prefilter_reject_rate"] = reject_rate(self.stats)
 
     @property
     def threshold(self) -> int:

@@ -1049,12 +1049,14 @@ class TestSeededBugs:
         findings = self._mutate(
             "src/repro/serve/engine.py",
             "        snapshot = load_index_snapshot(path, mmap_mode=mmap_mode)\n"
-            "        return cls(snapshot, parallel=parallel, mmap_mode=mmap_mode)",
+            "        return cls(snapshot, parallel=parallel, mmap_mode=mmap_mode, "
+            "verify=verify)",
             "        try:\n"
             "            snapshot = load_index_snapshot(path, mmap_mode=mmap_mode)\n"
             "        except Exception:\n"
             "            snapshot = None\n"
-            "        return cls(snapshot, parallel=parallel, mmap_mode=mmap_mode)",
+            "        return cls(snapshot, parallel=parallel, mmap_mode=mmap_mode, "
+            "verify=verify)",
         )
         assert "RL204" in rule_ids(findings)
 

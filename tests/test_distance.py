@@ -110,3 +110,23 @@ class TestMaskedHammingRows:
         words = np.zeros((1, 1), dtype=np.uint64)
         with pytest.raises(ValueError):
             masked_hamming_rows(words, np.asarray([0]), words, np.asarray([0]), 5, 5)
+
+    def test_stop_beyond_packed_width(self):
+        words = np.zeros((1, 2), dtype=np.uint64)
+        rows = np.asarray([0])
+        with pytest.raises(ValueError, match="exceeds the packed width"):
+            masked_hamming_rows(words, rows, words, rows, 0, 129)
+
+    def test_stop_checked_against_narrower_side(self):
+        wide = np.zeros((1, 3), dtype=np.uint64)
+        narrow = np.zeros((1, 2), dtype=np.uint64)
+        rows = np.asarray([0])
+        with pytest.raises(ValueError, match="exceeds the packed width"):
+            masked_hamming_rows(wide, rows, narrow, rows, 0, 160)
+
+    def test_row_length_mismatch(self):
+        words = np.zeros((3, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="parallel arrays"):
+            masked_hamming_rows(
+                words, np.asarray([0, 1]), words, np.asarray([0, 1, 2]), 0, 64
+            )

@@ -1,0 +1,324 @@
+"""Tests for repro.hamming.sketch (sketch-prefiltered verification).
+
+The prefilter's contract is *byte identity*: it may only reject pairs
+whose partial distance — an exact lower bound — already exceeds the
+threshold, so its output must equal the plain full-width sweep on every
+input.  These properties are checked on random packed matrices; the
+golden-parity suite checks the same contract through every registry
+linker.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.bitmatrix import BitMatrix
+from repro.hamming.lsh import HammingLSH
+from repro.hamming.query import batch_query
+from repro.hamming.sketch import (
+    VerifyConfig,
+    partial_hamming_rows,
+    reject_rate,
+    sketch_word_order,
+    verify_pairs,
+    verify_pairs_topk,
+)
+
+
+def _random_words(rng, n_rows, n_words):
+    return rng.integers(0, 2**63, size=(n_rows, n_words), dtype=np.int64).astype(
+        np.uint64
+    )
+
+
+def _random_pairs(rng, n_a, n_b, n_pairs):
+    return (
+        rng.integers(0, n_a, size=n_pairs).astype(np.int64),
+        rng.integers(0, n_b, size=n_pairs).astype(np.int64),
+    )
+
+
+def _plain_sweep(words_a, rows_a, words_b, rows_b):
+    xor = words_a[rows_a] ^ words_b[rows_b]
+    return np.bitwise_count(xor).sum(axis=1).astype(np.int64)
+
+
+class TestVerifyConfig:
+    def test_defaults_valid(self):
+        config = VerifyConfig()
+        assert config.enabled
+        assert config.tiers == (3, 8)
+
+    def test_empty_tiers_rejected(self):
+        with pytest.raises(ValueError, match="at least one sketch width"):
+            VerifyConfig(tiers=())
+
+    @pytest.mark.parametrize("tiers", [(3, 3), (5, 2), (0, 4), (-1,)])
+    def test_non_increasing_tiers_rejected(self, tiers):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            VerifyConfig(tiers=tiers)
+
+    def test_block_rows_must_be_positive(self):
+        with pytest.raises(ValueError, match="block_rows"):
+            VerifyConfig(block_rows=0)
+
+
+class TestSketchWordOrder:
+    def test_is_a_permutation(self):
+        order = sketch_word_order(24, seed=0)
+        assert sorted(order.tolist()) == list(range(24))
+
+    def test_deterministic_in_seed(self):
+        assert np.array_equal(sketch_word_order(16, 3), sketch_word_order(16, 3))
+        assert not np.array_equal(sketch_word_order(16, 3), sketch_word_order(16, 4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sketch_word_order(0, seed=0)
+
+
+class TestPartialHammingRows:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60)
+    def test_lower_bound_and_full_equality(self, n_words, n_pairs, seed):
+        """Any word subset lower-bounds the exact distance; all words equal it."""
+        rng = np.random.default_rng(seed)
+        words_a = _random_words(rng, 8, n_words)
+        words_b = _random_words(rng, 8, n_words)
+        rows_a, rows_b = _random_pairs(rng, 8, 8, n_pairs)
+        exact = _plain_sweep(words_a, rows_a, words_b, rows_b)
+        n_subset = int(rng.integers(1, n_words + 1))
+        subset = rng.permutation(n_words)[:n_subset].astype(np.int64)
+        partial = partial_hamming_rows(words_a, rows_a, words_b, rows_b, subset)
+        assert np.all(partial <= exact)
+        full = partial_hamming_rows(
+            words_a, rows_a, words_b, rows_b, np.arange(n_words)
+        )
+        assert np.array_equal(full, exact)
+
+    def test_blocking_is_invisible(self):
+        rng = np.random.default_rng(11)
+        words = _random_words(rng, 32, 4)
+        rows_a, rows_b = _random_pairs(rng, 32, 32, 500)
+        cols = np.asarray([2, 0])
+        unblocked = partial_hamming_rows(words, rows_a, words, rows_b, cols)
+        blocked = partial_hamming_rows(
+            words, rows_a, words, rows_b, cols, block_rows=7
+        )
+        assert np.array_equal(unblocked, blocked)
+
+    def test_row_length_mismatch(self):
+        words = np.zeros((3, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="parallel arrays"):
+            partial_hamming_rows(
+                words, np.asarray([0, 1]), words, np.asarray([0]), np.asarray([0])
+            )
+
+
+class TestVerifyPairs:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=1, max_value=17),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80)
+    def test_identical_to_plain_sweep(
+        self, n_words, n_pairs, threshold, block_rows, seed
+    ):
+        rng = np.random.default_rng(seed)
+        words_a = _random_words(rng, 10, n_words)
+        # Plant near-duplicates so thresholds actually accept some pairs.
+        words_b = words_a[rng.integers(0, 10, size=12)].copy()
+        words_b[rng.integers(0, 12), rng.integers(0, n_words)] ^= np.uint64(0b1011)
+        rows_a, rows_b = _random_pairs(rng, 10, 12, n_pairs)
+        exact = _plain_sweep(words_a, rows_a, words_b, rows_b)
+        keep = exact <= threshold
+        tiers = tuple(sorted({int(t) for t in rng.integers(1, n_words + 2, size=2)}))
+        config = VerifyConfig(tiers=tiers, block_rows=block_rows, seed=int(seed) % 5)
+        counters: dict[str, float] = {}
+        kept_a, kept_b, dist = verify_pairs(
+            words_a, rows_a, words_b, rows_b, threshold, config, counters
+        )
+        assert np.array_equal(kept_a, rows_a[keep])
+        assert np.array_equal(kept_b, rows_b[keep])
+        assert np.array_equal(dist, exact[keep])
+        # Counter bookkeeping: every pair is either rejected at some tier
+        # or swept exactly; no pair is dropped or double-counted.
+        rejected = sum(v for k, v in counters.items() if k.startswith("pairs_rejected"))
+        assert counters["pairs_prefiltered"] == float(n_pairs)
+        assert rejected + counters.get("pairs_exact", 0.0) == float(n_pairs)
+
+    def test_per_pair_thresholds(self):
+        rng = np.random.default_rng(2)
+        words = _random_words(rng, 16, 3)
+        rows_a, rows_b = _random_pairs(rng, 16, 16, 300)
+        exact = _plain_sweep(words, rows_a, words, rows_b)
+        bounds = rng.integers(0, 192, size=300).astype(np.int64)
+        keep = exact <= bounds
+        config = VerifyConfig(tiers=(1, 2), block_rows=64)
+        kept_a, kept_b, dist = verify_pairs(
+            words, rows_a, words, rows_b, bounds, config
+        )
+        assert np.array_equal(kept_a, rows_a[keep])
+        assert np.array_equal(kept_b, rows_b[keep])
+        assert np.array_equal(dist, exact[keep])
+
+    def test_empty_input(self):
+        words = np.zeros((1, 2), dtype=np.uint64)
+        empty = np.empty(0, dtype=np.int64)
+        counters: dict[str, float] = {}
+        kept_a, kept_b, dist = verify_pairs(
+            words, empty, words, empty, 4, VerifyConfig(), counters
+        )
+        assert kept_a.size == kept_b.size == dist.size == 0
+        assert counters["pairs_prefiltered"] == 0.0
+
+    def test_row_length_mismatch(self):
+        words = np.zeros((2, 2), dtype=np.uint64)
+        with pytest.raises(ValueError, match="parallel arrays"):
+            verify_pairs(
+                words, np.asarray([0, 1]), words, np.asarray([0]), 4, VerifyConfig()
+            )
+
+    def test_width_mismatch(self):
+        wide = np.zeros((2, 3), dtype=np.uint64)
+        narrow = np.zeros((2, 2), dtype=np.uint64)
+        rows = np.asarray([0, 1])
+        with pytest.raises(ValueError, match="packed widths differ"):
+            verify_pairs(wide, rows, narrow, rows, 4, VerifyConfig())
+
+
+def _brute_topk(words_a, rows_a, words_b, rows_b, threshold, top_k):
+    """Reference top-k: exact sweep, per-query (distance, id) cut."""
+    exact = _plain_sweep(words_a, rows_a, words_b, rows_b)
+    keep = exact <= threshold
+    rows_a, rows_b, exact = rows_a[keep], rows_b[keep], exact[keep]
+    selected: list[tuple[int, int, int]] = []
+    for query in np.unique(rows_b):
+        mask = rows_b == query
+        ranked = sorted(zip(exact[mask], rows_a[mask]))[:top_k]
+        selected.extend((int(query), int(rid), int(d)) for d, rid in ranked)
+    return sorted(selected)
+
+
+def _cut_topk(kept_a, kept_b, dist, top_k):
+    """The caller-side sort-and-cut applied to a verify_pairs_topk superset."""
+    selected: list[tuple[int, int, int]] = []
+    for query in np.unique(kept_b):
+        mask = kept_b == query
+        ranked = sorted(zip(dist[mask], kept_a[mask]))[:top_k]
+        selected.extend((int(query), int(rid), int(d)) for d, rid in ranked)
+    return sorted(selected)
+
+
+class TestVerifyPairsTopK:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60)
+    def test_superset_reduces_to_exact_topk(self, n_words, n_pairs, top_k, seed):
+        rng = np.random.default_rng(seed)
+        words_a = _random_words(rng, 12, n_words)
+        words_b = words_a[rng.integers(0, 12, size=8)].copy()
+        words_b[rng.integers(0, 8), rng.integers(0, n_words)] ^= np.uint64(0b111)
+        rows_a, rows_b = _random_pairs(rng, 12, 8, n_pairs)
+        # Dedup (query, id) pairs — candidate streams never repeat a pair.
+        composite = rows_b * 12 + rows_a
+        unique = np.unique(composite)
+        rows_a, rows_b = unique % 12, unique // 12
+        threshold = int(rng.integers(0, 64 * n_words + 1))
+        config = VerifyConfig(tiers=(1, 2), block_rows=13)
+        counters: dict[str, float] = {}
+        kept_a, kept_b, dist = verify_pairs_topk(
+            words_a, rows_a, words_b, rows_b, threshold, top_k, config, counters
+        )
+        # Every surviving pair carries its true exact distance within the
+        # threshold, and the ordinary cut recovers the brute-force top-k.
+        assert np.array_equal(dist, _plain_sweep(words_a, kept_a, words_b, kept_b))
+        assert np.all(dist <= threshold)
+        want = _brute_topk(words_a, rows_a, words_b, rows_b, threshold, top_k)
+        assert _cut_topk(kept_a, kept_b, dist, top_k) == want
+        assert counters["pairs_prefiltered"] == float(rows_a.size)
+
+    def test_rejects_bad_top_k(self):
+        words = np.zeros((2, 1), dtype=np.uint64)
+        rows = np.asarray([0, 1])
+        with pytest.raises(ValueError, match="top_k"):
+            verify_pairs_topk(words, rows, words, rows, 4, 0, VerifyConfig())
+
+    def test_empty_input(self):
+        words = np.zeros((1, 1), dtype=np.uint64)
+        empty = np.empty(0, dtype=np.int64)
+        kept_a, kept_b, dist = verify_pairs_topk(
+            words, empty, words, empty, 4, 3, VerifyConfig()
+        )
+        assert kept_a.size == kept_b.size == dist.size == 0
+
+
+class TestRejectRate:
+    def test_empty_counters(self):
+        assert reject_rate({}) == 0.0
+
+    def test_fraction(self):
+        counters = {"pairs_prefiltered": 10.0, "pairs_exact": 3.0}
+        assert reject_rate(counters) == pytest.approx(0.7)
+
+
+class TestBatchQueryPrefilter:
+    """batch_query answers identically with the prefilter on and off."""
+
+    @pytest.fixture(scope="class")
+    def indexed(self):
+        rng = np.random.default_rng(5)
+        n_bits, n_words = 192, 3
+        words_a = _random_words(rng, 60, n_words)
+        words_b = words_a[rng.integers(0, 60, size=40)].copy()
+        flips = rng.integers(0, n_words, size=40)
+        words_b[np.arange(40), flips] ^= np.uint64(0x5)
+        matrix_a = BitMatrix(words_a, n_bits)
+        matrix_b = BitMatrix(words_b, n_bits)
+        lsh = HammingLSH(n_bits=n_bits, k=12, threshold=8, seed=5)
+        lsh.index(matrix_a)
+        return lsh, matrix_a, matrix_b
+
+    @pytest.mark.parametrize("top_k", [None, 1, 3])
+    def test_prefilter_parity(self, indexed, top_k):
+        lsh, matrix_a, matrix_b = indexed
+        plain = batch_query(lsh, matrix_a.words, matrix_b, threshold=8, top_k=top_k)
+        counters: dict[str, float] = {}
+        config = VerifyConfig(tiers=(1, 2), block_rows=32)
+        filtered = batch_query(
+            lsh,
+            matrix_a.words,
+            matrix_b,
+            threshold=8,
+            top_k=top_k,
+            verify=config,
+            counters=counters,
+        )
+        for want, got in zip(plain, filtered):
+            assert np.array_equal(want, got)
+        assert counters.get("pairs_prefiltered", 0.0) > 0
+
+    def test_disabled_config_skips_counters(self, indexed):
+        lsh, matrix_a, matrix_b = indexed
+        counters: dict[str, float] = {}
+        batch_query(
+            lsh,
+            matrix_a.words,
+            matrix_b,
+            threshold=8,
+            verify=VerifyConfig(enabled=False),
+            counters=counters,
+        )
+        assert counters == {}
