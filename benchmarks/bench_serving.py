@@ -19,12 +19,19 @@ Times the serving story of ``repro.serve`` on the NCVR PL cell at
   k-th-distance bound as the rejection threshold); answers must match
   byte-for-byte, and the cell records the reject rate alongside both
   timings.
+* **sharded fan-out** — the full stream served by a
+  ``ShardedQueryEngine`` over a persisted sharded bundle at ``n_shards``
+  in {1, 4}; every cell must be byte-identical to the single-shard
+  reference (the scatter-gather merge is deterministic by construction).
+* **ingest + replay** — online appends into the sharded bundle's WAL,
+  the replay cost a fresh open pays before compaction, and the
+  compaction that folds the log back to zero-replay opens.
 
 ``--check`` exits non-zero when batching fails to reach 5x the batch-1
-QPS, when any configuration disagrees, or — at full scale — when the
-cold load is not at least 10x faster than rebuilding (the CI
-serving-smoke gate runs ``--check --tiny``, which skips the load-ratio
-gate: at smoke scale both sides are timer noise).
+QPS, when any configuration (including every sharded cell) disagrees,
+or — at full scale — when the cold load is not at least 10x faster than
+rebuilding (the CI serving-smoke gate runs ``--check --tiny``, which
+skips the load-ratio gate: at smoke scale both sides are timer noise).
 """
 
 import argparse
@@ -45,7 +52,7 @@ from repro.evaluation.reporting import banner, format_table
 from repro.hamming.lsh import HammingLSH
 from repro.hamming.sketch import VerifyConfig
 from repro.perf import ParallelConfig
-from repro.serve import QueryEngine
+from repro.serve import QueryEngine, ShardedQueryEngine
 
 #: Serving amortisation is a scale story — the reference side of a
 #: deployment is large, so this benchmark defaults to 10x the linkage
@@ -57,6 +64,7 @@ THRESHOLD = 4
 K = 30
 BATCH_SIZES = (1, 64, 1024)
 JOBS = (1, 4)
+SHARDS = (1, 4)
 TOP_K = 5
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -175,6 +183,85 @@ def _identical(left, right):
     return all(np.array_equal(a, b) for a, b in zip(left, right))
 
 
+def _measure_sharded(tmp, rows_a, rows_b, encoder, reference, repeats):
+    """Scatter-gather serving at each shard count, with byte parity cells."""
+    cells = []
+    identical = {}
+    for n_shards in SHARDS:
+        built = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=n_shards, threshold=THRESHOLD, k=K, seed=SEED
+        )
+        bundle = built.save(f"{tmp}/sharded{n_shards}")
+        built.close()
+        engine = ShardedQueryEngine.from_bundle(bundle)
+        best = float("inf")
+        result = None
+        for __ in range(repeats):
+            start = time.perf_counter()
+            result = engine.query_batch(rows_b)
+            best = min(best, time.perf_counter() - start)
+        arrays = (result.queries, result.ids, result.distances)
+        identical[f"sharded{n_shards}"] = _identical(reference, arrays)
+        batches = engine.stats.get("n_batches", 1.0)
+        cells.append(
+            {
+                "n_shards": n_shards,
+                "full_stream_s": best,
+                "qps": len(rows_b) / best if best > 0 else float("inf"),
+                "fanout_s_per_batch": engine.stats.get("time_fanout_s", 0.0) / batches,
+                "merge_s_per_batch": engine.stats.get("time_merge_s", 0.0) / batches,
+            }
+        )
+        engine.close()
+    return cells, identical
+
+
+def _measure_ingest_replay(tmp, rows_a, rows_b, encoder, n_ingest):
+    """Durable ingest cost: WAL append, replay-on-open, and compaction."""
+    base, extra = rows_a[:-n_ingest], rows_a[-n_ingest:]
+    built = ShardedQueryEngine.build(
+        base, encoder, n_shards=SHARDS[-1], threshold=THRESHOLD, k=K, seed=SEED
+    )
+    bundle = built.save(f"{tmp}/ingest")
+
+    start = time.perf_counter()
+    built.ingest(extra)
+    ingest_s = time.perf_counter() - start
+    built.close()
+
+    start = time.perf_counter()
+    replaying = ShardedQueryEngine.from_bundle(bundle)
+    replay_open_s = time.perf_counter() - start
+    replayed = replaying.index.counters["wal_replayed_records"]
+    after_ingest = _result_arrays(replaying, rows_b)
+
+    start = time.perf_counter()
+    replaying.compact()
+    compact_s = time.perf_counter() - start
+    after_compact = _result_arrays(replaying, rows_b)
+    replaying.close()
+
+    start = time.perf_counter()
+    compacted = ShardedQueryEngine.from_bundle(bundle)
+    clean_open_s = time.perf_counter() - start
+    compacted.close()
+
+    full = QueryEngine.build(rows_a, encoder, threshold=THRESHOLD, k=K, seed=SEED)
+    rebuilt = _result_arrays(full, rows_b)
+    return {
+        "n_shards": SHARDS[-1],
+        "n_ingested": n_ingest,
+        "ingest_s": ingest_s,
+        "replay_open_s": replay_open_s,
+        "wal_replayed_records": replayed,
+        "compact_s": compact_s,
+        "clean_open_s": clean_open_s,
+    }, {
+        "ingest_replay": _identical(rebuilt, after_ingest),
+        "ingest_compacted": _identical(rebuilt, after_compact),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -239,6 +326,17 @@ def main(argv=None):
         topk_prefilter = _measure_topk_prefilter(bundle, rows_b, repeats)
         identical["topk_prefilter"] = topk_prefilter["matches_identical"]
 
+        sharded_cells, sharded_identical = _measure_sharded(
+            tmp, rows_a, rows_b, encoder, reference, repeats
+        )
+        identical.update(sharded_identical)
+
+        n_ingest = max(10, n // 100)
+        ingest_cell, ingest_identical = _measure_ingest_replay(
+            tmp, rows_a, rows_b, encoder, n_ingest
+        )
+        identical.update(ingest_identical)
+
     qps = {(cell["n_jobs"], cell["batch_size"]): cell["qps"] for cell in throughput}
     batch_speedup = qps[(1, 1024)] / qps[(1, 1)] if qps[(1, 1)] > 0 else float("inf")
     all_identical = all(identical.values())
@@ -260,6 +358,8 @@ def main(argv=None):
         "throughput": throughput,
         "batch_1024_vs_1_qps_speedup": batch_speedup,
         "topk_prefilter": topk_prefilter,
+        "sharded": sharded_cells,
+        "ingest_replay": ingest_cell,
         "results_identical": identical,
         "gates": {
             "min_batch_speedup": MIN_BATCH_SPEEDUP,
@@ -291,6 +391,28 @@ def main(argv=None):
         f"vs {topk_prefilter['prefilter_on_s'] * 1e3:.1f} ms on "
         f"({topk_prefilter['speedup']:.2f}x, reject rate "
         f"{topk_prefilter['prefilter_reject_rate']:.1%})"
+    )
+    shard_rows = [
+        [
+            cell["n_shards"],
+            f"{cell['qps']:.0f}",
+            f"{cell['fanout_s_per_batch'] * 1e3:.2f}",
+            f"{cell['merge_s_per_batch'] * 1e3:.2f}",
+        ]
+        for cell in sharded_cells
+    ]
+    print(
+        format_table(
+            ["n_shards", "QPS", "fanout_ms/batch", "merge_ms/batch"], shard_rows
+        )
+    )
+    print(
+        f"ingest {ingest_cell['n_ingested']} records: "
+        f"{ingest_cell['ingest_s'] * 1e3:.1f} ms WAL append, "
+        f"{ingest_cell['replay_open_s'] * 1e3:.1f} ms replay-open "
+        f"({ingest_cell['wal_replayed_records']:.0f} records), "
+        f"{ingest_cell['compact_s'] * 1e3:.1f} ms compaction, "
+        f"{ingest_cell['clean_open_s'] * 1e3:.1f} ms clean open"
     )
     print(f"results identical across configurations: {all_identical}")
     print(f"wrote {OUTPUT}")

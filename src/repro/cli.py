@@ -9,8 +9,11 @@ The paper's evaluation workflow as shell commands::
     repro link a.csv b.csv --rule "(FirstName<=4) & (LastName<=4)" \
          --k FirstName=5 --k LastName=5 -o matches.csv
     repro index build a.csv -o idx --threshold 4
+    repro index build a.csv -o idx --threshold 4 --shards 4
     repro index query idx b.csv -o matches.csv --top-k 1
     repro index bench idx b.csv --n-jobs 4
+    repro index ingest idx more.csv
+    repro index compact idx
     repro lint src/ --format json
 
 Every command takes ``--seed`` and is fully reproducible; ``repro lint``
@@ -165,6 +168,14 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--threshold", type=int, required=True)
     build.add_argument("--k", type=int, default=30, help="sampled bits per group")
     build.add_argument("--delta", type=float, default=0.1)
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a sharded bundle with N shards (durable ingest + "
+        "scatter-gather serving); 0 (default) writes a single bundle",
+    )
     _add_seed(build)
 
     query = isub.add_parser(
@@ -186,6 +197,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", type=int, default=3)
     bench.add_argument("--n-jobs", type=int, default=1)
     _add_prefilter_flags(bench)
+
+    ingest = isub.add_parser(
+        "ingest",
+        help="durably append a CSV to a sharded bundle (write-ahead logged)",
+    )
+    ingest.add_argument("bundle", help="sharded bundle directory")
+    ingest.add_argument("dataset", help="CSV of records to append")
+
+    compact = isub.add_parser(
+        "compact",
+        help="fold a sharded bundle's ingest log into new shard snapshots",
+    )
+    compact.add_argument("bundle", help="sharded bundle directory")
 
     lint = sub.add_parser(
         "lint",
@@ -364,7 +388,7 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     import time
 
     from repro.protocol import value_rows
-    from repro.serve import QueryEngine
+    from repro.serve import QueryEngine, ShardedQueryEngine
 
     dataset = read_dataset(args.dataset)
     linker = CompactHammingLinker.record_level(
@@ -372,6 +396,23 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     )
     encoder = linker.calibrate(dataset)
     started = time.perf_counter()
+    if args.shards >= 1:
+        sharded = ShardedQueryEngine.build(
+            list(value_rows(dataset)),
+            encoder,
+            n_shards=args.shards,
+            threshold=args.threshold,
+            k=args.k,
+            delta=args.delta,
+            seed=args.seed,
+        )
+        bundle = sharded.save(args.output)
+        elapsed = time.perf_counter() - started
+        emit(
+            f"indexed {sharded.n_indexed} records ({encoder.total_bits} bits) "
+            f"across {sharded.n_shards} shards in {elapsed:.2f} s -> {bundle}"
+        )
+        return 0
     engine = QueryEngine.build(
         list(value_rows(dataset)),
         encoder,
@@ -389,19 +430,28 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_engine(args: argparse.Namespace):
+    """The engine matching the bundle's kind (single-shard or sharded)."""
+    from repro.core.shards import is_sharded_bundle
+    from repro.perf import ParallelConfig
+    from repro.serve import QueryEngine, ShardedQueryEngine
+
+    parallel = ParallelConfig(n_jobs=args.n_jobs)
+    verify = _verify_from_args(args)
+    if is_sharded_bundle(args.bundle):
+        return ShardedQueryEngine.from_bundle(
+            args.bundle, parallel=parallel, verify=verify
+        )
+    return QueryEngine.from_snapshot(args.bundle, parallel=parallel, verify=verify)
+
+
 def _cmd_index_query(args: argparse.Namespace) -> int:
     import csv
 
-    from repro.perf import ParallelConfig
     from repro.protocol import value_rows
-    from repro.serve import QueryEngine
 
     dataset = read_dataset(args.dataset)
-    engine = QueryEngine.from_snapshot(
-        args.bundle,
-        parallel=ParallelConfig(n_jobs=args.n_jobs),
-        verify=_verify_from_args(args),
-    )
+    engine = _serving_engine(args)
     result = engine.query_batch(
         list(value_rows(dataset)), threshold=args.threshold, top_k=args.top_k
     )
@@ -421,18 +471,13 @@ def _cmd_index_query(args: argparse.Namespace) -> int:
 def _cmd_index_bench(args: argparse.Namespace) -> int:
     import time
 
-    from repro.perf import ParallelConfig
     from repro.protocol import value_rows
-    from repro.serve import QueryEngine
+    from repro.serve import ShardedQueryEngine
 
     dataset = read_dataset(args.dataset)
     rows = list(value_rows(dataset))
     started = time.perf_counter()
-    engine = QueryEngine.from_snapshot(
-        args.bundle,
-        parallel=ParallelConfig(n_jobs=args.n_jobs),
-        verify=_verify_from_args(args),
-    )
+    engine = _serving_engine(args)
     load_s = time.perf_counter() - started
     timings = []
     n_matches = 0
@@ -441,20 +486,73 @@ def _cmd_index_bench(args: argparse.Namespace) -> int:
         n_matches = engine.query_batch(rows).n_matches
         timings.append(time.perf_counter() - started)
     best = min(timings)
-    emit(
-        format_table(
-            ["metric", "value"],
-            [
-                ["indexed records", engine.n_indexed],
-                ["queries", len(rows)],
-                ["matches", n_matches],
-                ["cold load (s)", f"{load_s:.4f}"],
-                ["best batch time (s)", f"{best:.4f}"],
-                ["QPS", f"{len(rows) / best:.0f}" if best else "inf"],
-            ],
-        )
-    )
+    table = [
+        ["indexed records", engine.n_indexed],
+        ["queries", len(rows)],
+        ["matches", n_matches],
+        ["cold load (s)", f"{load_s:.4f}"],
+        ["best batch time (s)", f"{best:.4f}"],
+        ["QPS", f"{len(rows) / best:.0f}" if best else "inf"],
+    ]
+    if isinstance(engine, ShardedQueryEngine):
+        table.append(["shards", engine.n_shards])
+    batches = engine.stats.get("n_batches", 0.0)
+    for key in ("time_embed_s", "time_query_s", "time_fanout_s", "time_merge_s"):
+        if key in engine.stats:
+            stage = key[len("time_") : -len("_s")]
+            table.append(
+                [f"{stage} (s/batch)", f"{engine.stats[key] / max(1.0, batches):.4f}"]
+            )
+    emit(format_table(["metric", "value"], table))
     _emit_prefilter_stats(engine.stats)
+    return 0
+
+
+def _cmd_index_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.shards import is_sharded_bundle
+    from repro.protocol import value_rows
+    from repro.serve import ShardedQueryEngine
+
+    if not is_sharded_bundle(args.bundle):
+        raise SystemExit(
+            f"{args.bundle} is not a sharded bundle; online ingest needs one "
+            "(build with: repro index build ... --shards N)"
+        )
+    dataset = read_dataset(args.dataset)
+    engine = ShardedQueryEngine.from_bundle(args.bundle)
+    started = time.perf_counter()
+    gids = engine.ingest(list(value_rows(dataset)))
+    elapsed = time.perf_counter() - started
+    engine.close()
+    first = f", ids {gids[0]}..{gids[-1]}" if gids else ""
+    emit(
+        f"ingested {len(gids)} records into {args.bundle} in {elapsed:.2f} s "
+        f"(write-ahead logged, fsync'd{first}); run 'repro index compact' to "
+        "fold the log into shard snapshots"
+    )
+    return 0
+
+
+def _cmd_index_compact(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.shards import is_sharded_bundle
+    from repro.serve import ShardedQueryEngine
+
+    if not is_sharded_bundle(args.bundle):
+        raise SystemExit(f"{args.bundle} is not a sharded bundle; nothing to compact")
+    engine = ShardedQueryEngine.from_bundle(args.bundle)
+    replayed = int(engine.index.counters.get("wal_replayed_records", 0.0))
+    started = time.perf_counter()
+    version = engine.compact()
+    elapsed = time.perf_counter() - started
+    engine.close()
+    emit(
+        f"compacted {args.bundle} to version {version} in {elapsed:.2f} s "
+        f"({replayed} write-ahead records folded into {engine.n_shards} shards)"
+    )
     return 0
 
 
@@ -463,6 +561,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
         "build": _cmd_index_build,
         "query": _cmd_index_query,
         "bench": _cmd_index_bench,
+        "ingest": _cmd_index_ingest,
+        "compact": _cmd_index_compact,
     }[args.index_command]
     return handler(args)
 

@@ -467,11 +467,19 @@ class StreamingLinker:
 
         The packed store and bucket arrays stay memory-mapped (with the
         default ``mmap_mode``); further :meth:`insert` calls copy-on-grow
-        into process memory, leaving the bundle untouched.
+        into process memory, leaving the bundle untouched.  A sharded
+        bundle (``repro.core.shards``) loads through the merged
+        global-order view — byte-identical to the single-bundle index
+        over the same records, write-ahead overlay included.
         """
         from repro.core.persist import load_index_snapshot
+        from repro.core.shards import ShardedIndex, is_sharded_bundle
 
-        snapshot = load_index_snapshot(path, mmap_mode=mmap_mode)
+        if is_sharded_bundle(path):
+            with ShardedIndex.open(path, mmap_mode=mmap_mode) as sharded:
+                snapshot = sharded.merged()
+        else:
+            snapshot = load_index_snapshot(path, mmap_mode=mmap_mode)
         if snapshot.threshold is None:
             raise ValueError(
                 f"snapshot at {path} records no matching threshold; "

@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -162,6 +165,57 @@ def _dict_fingerprint(data: dict[str, Any]) -> str:
     return hashlib.sha256(_canonical_json(data).encode("utf-8")).hexdigest()
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so renames inside it survive a crash (best effort)."""
+    flag = getattr(os, "O_DIRECTORY", None)
+    if flag is None:  # platform without directory fds (e.g. Windows)
+        return
+    fd = os.open(path, os.O_RDONLY | flag)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_file(path: Path) -> None:
+    """Flush one already-written file's contents to stable storage."""
+    with open(path, "rb") as handle:
+        os.fsync(handle.fileno())
+
+
+def write_dir_atomic(path: str | Path, write: Any) -> Path:
+    """Build a directory under a temp name, then publish it atomically.
+
+    ``write(tmp_dir)`` populates a fresh temp directory next to the
+    final ``path``; on success the temp directory is renamed into place,
+    so a process killed at any point leaves either the old state or the
+    new one — never a half-written directory that only fails at load
+    time.  An existing ``path`` is retired (renamed aside, then removed)
+    rather than overwritten in place.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=out.parent, prefix=f".{out.name}.tmp-"))
+    try:
+        write(tmp)
+        _fsync_dir(tmp)
+        if out.exists():
+            retired = Path(
+                tempfile.mkdtemp(dir=out.parent, prefix=f".{out.name}.old-")
+            )
+            os.rmdir(retired)
+            os.rename(out, retired)
+            os.rename(tmp, out)
+            shutil.rmtree(retired, ignore_errors=True)
+        else:
+            os.rename(tmp, out)
+        _fsync_dir(out.parent)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return out
+
+
 def _keys_to_storage(keys: np.ndarray) -> np.ndarray:
     """Blocking keys in their storable form (void byte rows -> uint8 matrix)."""
     if keys.dtype == np.uint64:
@@ -215,6 +269,11 @@ def save_index_snapshot(
     overlay is compacted *now*, so loading never sorts) and concatenated
     into one payload per kind, with per-table offsets in the manifest.
 
+    The bundle is written under a temporary sibling name and renamed
+    into place once complete (payloads fsync'd first), so a killed save
+    never leaves a half-written bundle behind: ``path`` holds either the
+    previous bundle or the new one.
+
     Returns the bundle directory.
     """
     if matrix.n_bits != lsh.n_bits:
@@ -223,8 +282,6 @@ def save_index_snapshot(
         raise ValueError(
             f"width mismatch: encoder {encoder.total_bits} vs LSH {lsh.n_bits}"
         )
-    out = Path(path)
-    out.mkdir(parents=True, exist_ok=True)
 
     key_parts: list[np.ndarray] = []
     id_parts: list[np.ndarray] = []
@@ -274,13 +331,20 @@ def save_index_snapshot(
             for name, array in payloads.items()
         },
     }
-    for name, array in payloads.items():
-        np.save(out / name, array, allow_pickle=False)
-    (out / ENCODER_NAME).write_text(
-        json.dumps(encoder_to_dict(encoder), indent=2), encoding="utf-8"
-    )
-    (out / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2), encoding="utf-8")
-    return out
+    def _write(tmp: Path) -> None:
+        for name, array in payloads.items():
+            np.save(tmp / name, array, allow_pickle=False)
+            fsync_file(tmp / name)
+        (tmp / ENCODER_NAME).write_text(
+            json.dumps(encoder_to_dict(encoder), indent=2), encoding="utf-8"
+        )
+        fsync_file(tmp / ENCODER_NAME)
+        (tmp / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        fsync_file(tmp / MANIFEST_NAME)
+
+    return write_dir_atomic(path, _write)
 
 
 def _load_payload(
@@ -337,6 +401,13 @@ def load_index_snapshot(path: str | Path, mmap_mode: str | None = "r") -> IndexS
         manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise SnapshotError(f"snapshot manifest is not valid JSON: {exc}") from exc
+    if manifest.get("kind") == "sharded":
+        raise SnapshotError(
+            f"bundle at {bundle} is a sharded index root; open it with "
+            "repro.core.shards.ShardedIndex (or "
+            "repro.serve.ShardedQueryEngine) instead of the single-shard "
+            "loader"
+        )
     version = manifest.get("format_version")
     if version != SNAPSHOT_FORMAT_VERSION:
         raise SnapshotError(

@@ -1,8 +1,11 @@
 """Snapshot serving: high-throughput batched queries over a persisted index.
 
-See :mod:`repro.serve.engine` and ``docs/serving.md``.
+Single-bundle serving lives in :mod:`repro.serve.engine`; scatter-gather
+serving over sharded bundles (with durable ingest and compaction) in
+:mod:`repro.serve.sharded`.  See ``docs/serving.md``.
 """
 
 from repro.serve.engine import QueryEngine, QueryResult
+from repro.serve.sharded import ShardedQueryEngine
 
-__all__ = ["QueryEngine", "QueryResult"]
+__all__ = ["QueryEngine", "QueryResult", "ShardedQueryEngine"]

@@ -21,6 +21,7 @@ and start method.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,13 +62,16 @@ def _query_shard(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, float]]:
     """Answer one contiguous shard of query rows against the attached index.
 
-    Returns the shard's grouped match arrays plus its prefilter counters
-    (empty when the sketch prefilter is off) — workers stay pure, the
-    engine merges counters additively.
+    Returns the shard's grouped match arrays plus its counters: prefilter
+    tiers when the sketch prefilter is on, and the shard's wall-clock
+    ``time_embed_s`` / ``time_query_s`` — workers stay pure, the engine
+    merges counters additively.
     """
     rows, threshold, top_k, verify = task
     snapshot: IndexSnapshot = _WORKER_STATE["snapshot"]
+    started = time.perf_counter()
     matrix_b = snapshot.encoder.encode_dataset(rows)
+    embedded = time.perf_counter()
     counters: dict[str, float] = {}
     queries, ids, distances = batch_query(
         snapshot.lsh,
@@ -78,6 +82,8 @@ def _query_shard(
         verify=verify,
         counters=counters,
     )
+    counters["time_embed_s"] = embedded - started
+    counters["time_query_s"] = time.perf_counter() - embedded
     return queries, ids, distances, counters
 
 
@@ -142,9 +148,12 @@ class QueryEngine:
         self.parallel = parallel or ParallelConfig()
         self._mmap_mode = mmap_mode
         self.verify = verify
-        #: Prefilter counters summed over every served batch
-        #: (``pairs_prefiltered``, ``pairs_rejected_t<i>``, ``pairs_exact``,
-        #: ``prefilter_reject_rate``); empty while the prefilter is off.
+        #: Counters summed over every served batch: per-stage wall-clock
+        #: accumulators (``time_embed_s``, ``time_query_s``), batch
+        #: bookkeeping (``n_batches``, ``n_queries``) and — when the
+        #: sketch prefilter is on — its tier counters
+        #: (``pairs_prefiltered``, ``pairs_rejected_t<i>``,
+        #: ``pairs_exact``, ``prefilter_reject_rate``).
         self.stats: dict[str, float] = {}
 
     # -- constructors ------------------------------------------------------------
@@ -263,6 +272,7 @@ class QueryEngine:
                 (work, effective, top_k, self.verify)
             )
             self._merge_stats(counters)
+            self._account_batch(len(work))
             return QueryResult(queries, ids, distances, len(work))
         source: str | IndexSnapshot = self.snapshot
         if self.parallel.backend == "process" and self.snapshot.path is not None:
@@ -282,15 +292,30 @@ class QueryEngine:
         distances = np.concatenate([part[2] for part in parts])
         for part in parts:
             self._merge_stats(part[3])
+        self._account_batch(len(work))
         return QueryResult(queries, ids, distances, len(work))
 
     def _merge_stats(self, counters: dict[str, float]) -> None:
-        """Fold one shard's prefilter counters into the engine stats."""
+        """Fold one shard's counters into the engine stats, additively.
+
+        Every counter — prefilter tiers and the per-shard wall-clock
+        timings — accumulates across shards and batches.  The derived
+        ``prefilter_reject_rate`` ratio is never summed; it is recomputed
+        from the merged totals, and only once the prefilter has run.
+        """
         if not counters:
             return
         for key, value in counters.items():
+            if key == "prefilter_reject_rate":
+                continue
             self.stats[key] = self.stats.get(key, 0.0) + value
-        self.stats["prefilter_reject_rate"] = reject_rate(self.stats)
+        if "pairs_prefiltered" in self.stats:
+            self.stats["prefilter_reject_rate"] = reject_rate(self.stats)
+
+    def _account_batch(self, n_queries: int) -> None:
+        """Record one served batch in the engine stats."""
+        self.stats["n_batches"] = self.stats.get("n_batches", 0.0) + 1.0
+        self.stats["n_queries"] = self.stats.get("n_queries", 0.0) + float(n_queries)
 
     @property
     def threshold(self) -> int:

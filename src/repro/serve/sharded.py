@@ -1,0 +1,321 @@
+"""Scatter-gather serving over a sharded index (:class:`ShardedQueryEngine`).
+
+The sharded sibling of :class:`repro.serve.engine.QueryEngine`: the
+reference dataset lives in an ``N``-shard bundle
+(:class:`repro.core.shards.ShardedIndex`), a query batch is embedded
+**once**, fanned across per-shard workers, and the per-shard results are
+merged deterministically.  The parallel machinery is the same
+initializer pattern as the single-shard engine: each pool worker runs
+:func:`_init_sharded_worker` exactly once and attaches the whole sharded
+bundle — every shard's payloads memory-mapped, the write-ahead overlay
+replayed — so per-task payloads are just the packed query words.
+
+**Why the merge is byte-identical to a single index.**  Every record
+lives in exactly one shard and keeps its global id, and all shards share
+one set of sampled LSH positions, so a record's candidacy for a query is
+unchanged by sharding.  Threshold mode re-sorts the concatenated matches
+by ``(query, id)`` — the single-shard order.  Top-k mode asks each shard
+for its own top-k (a superset of the global winners: any globally kept
+match has fewer than ``k`` better matches even within its shard), then
+re-sorts the union by ``(query, distance, id)`` and cuts each query
+segment to ``k`` — the exact composite-sort-and-cut
+:func:`repro.hamming.query.batch_query` performs.  Within a shard local
+row order follows global-id order (ids are assigned monotonically), so
+per-shard tie-breaks already agree with the global ``(distance, id)``
+rule; shard number never decides.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import DEFAULT_DELTA, DEFAULT_K
+from repro.core.encoder import RecordEncoder
+from repro.core.shards import ShardedIndex
+from repro.hamming.bitmatrix import BitMatrix
+from repro.hamming.query import batch_query
+from repro.hamming.sketch import VerifyConfig, reject_rate
+from repro.perf import ParallelConfig, parallel_map
+from repro.serve.engine import QueryResult
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: Per-process worker state, set exactly once by :func:`_init_sharded_worker`.
+_SHARD_STATE: dict[str, Any] = {}
+
+
+def _init_sharded_worker(source: str | ShardedIndex, mmap_mode: str | None) -> None:
+    """Attach the sharded bundle in a pool worker (runs once per worker).
+
+    ``source`` is the bundle root path for persisted engines — each
+    worker memory-maps the shard payloads itself and replays the
+    write-ahead segments, so it serves exactly the acknowledged state —
+    or the in-memory :class:`ShardedIndex` for never-persisted engines,
+    shipped once per worker rather than once per task.
+    """
+    if isinstance(source, ShardedIndex):
+        _SHARD_STATE["index"] = source
+    else:
+        _SHARD_STATE["index"] = ShardedIndex.open(source, mmap_mode=mmap_mode)
+
+
+def _query_one_shard(
+    task: tuple[int, np.ndarray, int, int, int | None, VerifyConfig | None],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, float]]:
+    """Answer one shard's slice of the fan-out against the attached bundle.
+
+    The query batch arrives pre-embedded (its packed ``uint64`` words);
+    the worker rebuilds the :class:`BitMatrix` view, runs the shared
+    batch kernel against its shard's rows, and translates local row ids
+    back to global record ids.  Workers stay pure — counters (including
+    the shard's wall-clock ``time_query_s``) ride back in the result.
+    """
+    shard, words_b, n_bits, threshold, top_k, verify = task
+    index: ShardedIndex = _SHARD_STATE["index"]
+    state = index.shards[shard]
+    matrix_b = BitMatrix(words_b, n_bits)
+    counters: dict[str, float] = {}
+    started = time.perf_counter()
+    queries, local_ids, distances = batch_query(
+        state.lsh,
+        state.words[: state.count],
+        matrix_b,
+        threshold=threshold,
+        top_k=top_k,
+        verify=verify,
+        counters=counters,
+    )
+    counters["time_query_s"] = time.perf_counter() - started
+    gids = np.asarray(state.row_ids[: state.count][local_ids], dtype=np.int64)
+    return queries, gids, distances, counters
+
+
+def _merge_shard_parts(
+    parts: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray, dict[str, float]]],
+    top_k: int | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic gather: single-shard ordering over the shard union.
+
+    Global ids are unique across shards, so the two-key (threshold) and
+    three-key (top-k) lexicographic sorts below have no ties left for the
+    shard number to break — the merged arrays are byte-identical to one
+    :func:`~repro.hamming.query.batch_query` over the unsharded index.
+    """
+    queries = np.concatenate([part[0] for part in parts])
+    gids = np.concatenate([part[1] for part in parts])
+    distances = np.concatenate([part[2] for part in parts])
+    if queries.size == 0:
+        return _EMPTY, _EMPTY, _EMPTY
+    if top_k is None:
+        order = np.lexsort((gids, queries))
+        return queries[order], gids[order], distances[order]
+    order = np.lexsort((gids, distances, queries))
+    queries, gids, distances = queries[order], gids[order], distances[order]
+    starts = np.flatnonzero(np.r_[True, queries[1:] != queries[:-1]])
+    counts = np.diff(np.r_[starts, queries.size])
+    ranks = np.arange(queries.size, dtype=np.int64) - np.repeat(starts, counts)
+    head = ranks < top_k
+    return queries[head], gids[head], distances[head]
+
+
+class ShardedQueryEngine:
+    """Batched queries fanned across the shards of a sharded bundle.
+
+    Construct with :meth:`from_bundle` (serve a persisted sharded bundle,
+    shard payloads memory-mapped, WAL replayed) or :meth:`build` (shard
+    and index rows in memory, e.g. before a first :meth:`save`).
+    Results are byte-identical to the single-shard
+    :class:`~repro.serve.engine.QueryEngine` over the same records, for
+    every ``n_shards``, ``n_jobs`` and backend.
+
+    Beyond querying, the engine fronts the bundle's lifecycle:
+    :meth:`ingest` durably appends records (write-ahead logged, fsync'd
+    before acknowledgement), :meth:`compact` folds the accumulated
+    overlay into a new snapshot version with an atomic manifest swap.
+    """
+
+    def __init__(
+        self,
+        index: ShardedIndex,
+        parallel: ParallelConfig | None = None,
+        mmap_mode: str | None = "r",
+        verify: VerifyConfig | None = None,
+    ):
+        self.index = index
+        self.parallel = parallel or ParallelConfig()
+        self._mmap_mode = mmap_mode
+        self.verify = verify
+        #: Engine-level counters summed over every served batch: prefilter
+        #: tiers when enabled, plus ``time_embed_s`` / ``time_fanout_s`` /
+        #: ``time_merge_s`` wall-clock accumulators, ``n_batches`` and
+        #: ``n_queries``.
+        self.stats: dict[str, float] = {}
+        #: Per-shard counters (``time_query_s``, candidate-generation and
+        #: prefilter tiers), summed over every served batch.
+        self.shard_stats: list[dict[str, float]] = [
+            {} for __ in range(index.n_shards)
+        ]
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        rows: Sequence[Sequence[str]],
+        encoder: RecordEncoder,
+        n_shards: int,
+        threshold: int,
+        k: int = DEFAULT_K,
+        delta: float = DEFAULT_DELTA,
+        n_tables: int | None = None,
+        seed: int | None = None,
+        max_chunk_pairs: int | None = None,
+        parallel: ParallelConfig | None = None,
+        verify: VerifyConfig | None = None,
+    ) -> "ShardedQueryEngine":
+        """Shard and index ``rows`` in memory under a calibrated encoder."""
+        index = ShardedIndex.build(
+            [tuple(row) for row in rows],
+            encoder,
+            n_shards=n_shards,
+            threshold=threshold,
+            k=k,
+            delta=delta,
+            n_tables=n_tables,
+            seed=seed,
+            max_chunk_pairs=max_chunk_pairs,
+        )
+        return cls(index, parallel=parallel, verify=verify)
+
+    @classmethod
+    def from_bundle(
+        cls,
+        path: str | Path,
+        parallel: ParallelConfig | None = None,
+        mmap_mode: str | None = "r",
+        verify: VerifyConfig | None = None,
+    ) -> "ShardedQueryEngine":
+        """Serve a persisted sharded bundle (mmap payloads, replay WAL)."""
+        index = ShardedIndex.open(path, mmap_mode=mmap_mode)
+        return cls(index, parallel=parallel, mmap_mode=mmap_mode, verify=verify)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the index as a sharded bundle and serve it from disk."""
+        return self.index.save(path)
+
+    def ingest(self, rows: Sequence[Sequence[str]]) -> list[int]:
+        """Durably append records; returns their assigned global ids.
+
+        For a persisted engine every record is written to its shard's
+        write-ahead segment and fsync'd **before** this returns — the
+        returned ids are the acknowledgement, and a crash at any moment
+        recovers to a prefix of the acknowledged stream.  Appended
+        records are immediately queryable.
+        """
+        return self.index.append_batch([tuple(row) for row in rows])
+
+    def compact(self) -> int:
+        """Fold the ingest overlay into new shard snapshots (new version)."""
+        return self.index.compact()
+
+    def close(self) -> None:
+        """Release the bundle's write-ahead segment writers (idempotent)."""
+        self.index.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def n_indexed(self) -> int:
+        """Number of reference records served (including the overlay)."""
+        return self.index.n_rows
+
+    @property
+    def n_shards(self) -> int:
+        return self.index.n_shards
+
+    @property
+    def threshold(self) -> int:
+        """The bundle's recorded matching threshold."""
+        return self.index.threshold
+
+    # -- queries -----------------------------------------------------------------
+
+    def query_batch(
+        self,
+        rows: Sequence[Sequence[str]],
+        threshold: int | None = None,
+        top_k: int | None = None,
+    ) -> QueryResult:
+        """Match a batch of query records against every shard and merge.
+
+        The batch is embedded once; the packed query words fan out to one
+        task per shard (inline when ``parallel.n_jobs <= 1``, else via
+        :func:`repro.perf.parallel_map` with the bundle attached per
+        worker by the initializer).  The merge re-establishes the
+        single-shard result order — see the module docstring for why
+        that is byte-identical.  Ids in the result are **global** record
+        ids.
+        """
+        effective = self.threshold if threshold is None else threshold
+        work = [tuple(row) for row in rows]
+        if not work:
+            return QueryResult(_EMPTY, _EMPTY, _EMPTY, 0)
+        started = time.perf_counter()
+        matrix_b = self.index.encoder.encode_dataset(work)
+        embedded = time.perf_counter()
+        tasks = [
+            (shard, matrix_b.words, matrix_b.n_bits, effective, top_k, self.verify)
+            for shard in range(self.n_shards)
+        ]
+        if self.parallel.effective_jobs <= 1 or self.n_shards <= 1:
+            _init_sharded_worker(self.index, self._mmap_mode)
+            parts = [_query_one_shard(task) for task in tasks]
+        else:
+            source: str | ShardedIndex = self.index
+            if self.parallel.backend == "process" and self.index.path is not None:
+                source = str(self.index.path)
+            parts = parallel_map(
+                _query_one_shard,
+                tasks,
+                self.parallel,
+                initializer=_init_sharded_worker,
+                initargs=(source, self._mmap_mode),
+            )
+        fanned = time.perf_counter()
+        queries, gids, distances = _merge_shard_parts(parts, top_k)
+        merged = time.perf_counter()
+        for shard, part in enumerate(parts):
+            self._merge_shard_stats(shard, part[3])
+        self._bump("time_embed_s", embedded - started)
+        self._bump("time_fanout_s", fanned - embedded)
+        self._bump("time_merge_s", merged - fanned)
+        self._bump("n_batches", 1.0)
+        self._bump("n_queries", float(len(work)))
+        return QueryResult(queries, gids, distances, len(work))
+
+    # -- stats -------------------------------------------------------------------
+
+    def _bump(self, key: str, value: float) -> None:
+        self.stats[key] = self.stats.get(key, 0.0) + value
+
+    def _merge_shard_stats(self, shard: int, counters: dict[str, float]) -> None:
+        """Fold one shard's per-batch counters into both stat views.
+
+        Counters are additive; the derived ``prefilter_reject_rate``
+        ratio is recomputed from the merged totals, never summed.
+        """
+        per_shard = self.shard_stats[shard]
+        for key, value in counters.items():
+            if key == "prefilter_reject_rate":
+                continue
+            per_shard[key] = per_shard.get(key, 0.0) + value
+            self._bump(key, value)
+        if "pairs_prefiltered" in self.stats:
+            self.stats["prefilter_reject_rate"] = reject_rate(self.stats)

@@ -1,0 +1,24 @@
+"""Append-only write-ahead segments (CRC-framed, fsync'd).
+
+An import-leaf package: at module level it touches only the stdlib, so
+every layer — ``repro.core`` persistence, ``repro.serve`` — may depend
+on it freely.  See :mod:`repro.wal.segment` and ``docs/serving.md``.
+"""
+
+from repro.wal.segment import (
+    FRAME_OVERHEAD,
+    ReplayResult,
+    SegmentWriter,
+    frame,
+    replay_segment,
+    truncate_segment,
+)
+
+__all__ = [
+    "FRAME_OVERHEAD",
+    "ReplayResult",
+    "SegmentWriter",
+    "frame",
+    "replay_segment",
+    "truncate_segment",
+]

@@ -1,0 +1,164 @@
+"""CRC-framed append-only segment files (the write-ahead log substrate).
+
+A segment is a flat file of frames, each framing one opaque payload::
+
+    +----------------+----------------+===================+
+    | length  uint32 | crc32   uint32 |  payload bytes    |
+    +----------------+----------------+===================+
+
+both header fields little-endian, ``crc32`` over the payload alone.
+The format is designed around one question — *which prefix of this file
+is durable?* — so that a process killed at any byte offset recovers to
+exactly the records it had acknowledged:
+
+* :meth:`SegmentWriter.append` writes a whole frame and (by default)
+  flushes **and fsyncs** before returning.  A record is durable — and
+  may be acknowledged upstream — only once ``append`` returns.
+* :func:`replay_segment` scans frames from the start and stops at the
+  first incomplete or CRC-corrupt frame.  Everything before that point
+  is the durable prefix; everything after is a torn tail from a crash
+  mid-write and is never surfaced as data.
+* :func:`truncate_segment` chops a torn tail off so later appends start
+  from the durable prefix (a frame appended *after* garbage bytes would
+  be unreachable to replay).
+
+Payloads are opaque ``bytes`` — callers pick their own encoding
+(:mod:`repro.core.shards` uses canonical JSON).  The module is
+stdlib-only and import-leaf by the architecture contract.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+
+_HEADER = struct.Struct("<II")
+
+#: Bytes of framing added to every payload (length + CRC header).
+FRAME_OVERHEAD = _HEADER.size
+
+
+def frame(payload: bytes) -> bytes:
+    """One on-disk frame for ``payload`` (header + payload bytes)."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What a replay scan recovered from one segment file.
+
+    ``records`` are the payloads of every complete, CRC-valid frame in
+    file order; ``durable_bytes`` is the offset just past the last such
+    frame and ``torn_bytes`` counts the unreadable tail behind it
+    (``0`` for a cleanly closed segment, or for a missing file).
+    """
+
+    records: list[bytes]
+    durable_bytes: int
+    torn_bytes: int
+
+    @property
+    def clean(self) -> bool:
+        """True when the whole file parsed as valid frames."""
+        return self.torn_bytes == 0
+
+
+def replay_segment(path: str | Path) -> ReplayResult:
+    """Scan a segment, returning every durable record and the torn-tail size.
+
+    The scan stops at the first frame that is truncated (header or
+    payload shorter than promised) or whose CRC does not match — the
+    signature of a crash between ``write`` and ``fsync``.  Bytes past
+    that point are reported, never parsed: a torn frame makes everything
+    behind it untrustworthy.  A missing file replays as empty and clean.
+    """
+    file = Path(path)
+    if not file.is_file():
+        return ReplayResult([], 0, 0)
+    data = file.read_bytes()
+    records: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset + FRAME_OVERHEAD <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + FRAME_OVERHEAD
+        end = start + length
+        if end > total:
+            break  # payload truncated mid-write
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn or bit-rotted frame; nothing behind it is safe
+        records.append(payload)
+        offset = end
+    return ReplayResult(records, offset, total - offset)
+
+
+def truncate_segment(path: str | Path, durable_bytes: int) -> None:
+    """Drop a torn tail: shrink the segment to its durable prefix.
+
+    Run after :func:`replay_segment` reports ``torn_bytes > 0`` and
+    before appending again; appends behind garbage bytes would be
+    invisible to replay.  The truncation is fsync'd.
+    """
+    if durable_bytes < 0:
+        raise ValueError(f"durable_bytes must be >= 0, got {durable_bytes}")
+    with open(path, "rb+") as handle:
+        handle.truncate(durable_bytes)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class SegmentWriter:
+    """Appends CRC-framed records to a segment, durable-before-return.
+
+    Opens the file in append mode (creating it if needed).  Each
+    :meth:`append` writes one frame; with the default ``sync=True`` it
+    flushes and fsyncs before returning, so the caller may acknowledge
+    the record immediately.  Batched writers pass ``sync=False`` per
+    record and call :meth:`sync` once per batch — one fsync covers every
+    frame written before it.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._path, "ab")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def append(self, payload: bytes, sync: bool = True) -> None:
+        """Write one frame; with ``sync`` the record is durable on return."""
+        if self._handle.closed:
+            raise ValueError(f"segment writer for {self._path} is closed")
+        self._handle.write(frame(payload))
+        if sync:
+            self.sync()
+
+    def sync(self) -> None:
+        """Flush buffered frames and fsync them to stable storage."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

@@ -1,0 +1,575 @@
+"""Tests for sharded bundles (repro.core.shards) and scatter-gather serving.
+
+Four contracts:
+
+* **Parity** — ``ShardedQueryEngine`` returns byte-identical threshold
+  and top-k results to the single-shard ``QueryEngine`` for every
+  ``n_shards``, in memory, from a persisted bundle, and under process
+  fan-out; the merged global view serves the committed golden matches.
+* **Durability** — an acknowledged ``ingest`` survives any crash: WAL
+  replay on open restores exactly the acknowledged records, torn tails
+  (kill between append and fsync) replay to the durable prefix, and
+  compaction folds the log into new shard snapshots without changing a
+  single result.
+* **Atomicity** — a killed save never leaves a half-written bundle; a
+  killed compaction leaves the previous generation authoritative.
+* **Loud failure** — stale manifests, swapped encoders and corrupt
+  sidecars raise :class:`SnapshotError`, never serve wrong candidates.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import RecordEncoder
+from repro.core.linker import CompactHammingLinker, StreamingLinker
+from repro.core.persist import (
+    SnapshotError,
+    load_index_snapshot,
+    write_dir_atomic,
+)
+from repro.core.shards import (
+    ShardedIndex,
+    _wal_payload,
+    is_sharded_bundle,
+    shard_of_id,
+    shards_of_ids,
+    wal_name,
+)
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.data.generators import EXPERIMENT_SCHEME
+from repro.data.io import write_dataset
+from repro.hamming.sketch import VerifyConfig
+from repro.perf import ParallelConfig
+from repro.pipeline import (
+    ChunkedCandidateStage,
+    LoadSnapshotStage,
+    QueryEmbedStage,
+    ThresholdVerifyStage,
+)
+from repro.pipeline.runner import LinkagePipeline
+from repro.serve import QueryEngine, ShardedQueryEngine
+from repro.wal import frame, replay_segment
+from tests.golden_linkers import (
+    GOLDEN_PATH,
+    K,
+    PROBLEM_SEED,
+    THRESHOLD,
+    make_problem,
+)
+
+SEED = 11
+N = 150
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_linkage_problem(NCVRGenerator(), N, scheme_pl(), seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def encoder(problem):
+    rows = list(problem.dataset_a.value_rows()) + list(problem.dataset_b.value_rows())
+    return RecordEncoder.calibrated(rows, scheme=EXPERIMENT_SCHEME, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def rows_a(problem):
+    return [tuple(r) for r in problem.dataset_a.value_rows()]
+
+
+@pytest.fixture(scope="module")
+def rows_b(problem):
+    return [tuple(r) for r in problem.dataset_b.value_rows()]
+
+
+@pytest.fixture(scope="module")
+def reference(encoder, rows_a):
+    return QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+
+
+def _arrays(result):
+    return result.queries, result.ids, result.distances
+
+
+def _assert_identical(left, right):
+    assert left.n_queries == right.n_queries
+    for a, b in zip(_arrays(left), _arrays(right)):
+        assert np.array_equal(a, b)
+
+
+class TestShardAssignment:
+    def test_scalar_and_vector_agree(self):
+        ids = np.arange(500)
+        for n_shards in (1, 2, 3, 8):
+            vectorised = shards_of_ids(ids, n_shards)
+            assert all(
+                shard_of_id(int(i), n_shards) == vectorised[i] for i in ids
+            )
+
+    def test_assignment_is_spread_and_stable(self):
+        counts = np.bincount(shards_of_ids(np.arange(2000), 8), minlength=8)
+        assert counts.min() > 0
+        assert shards_of_ids(np.arange(100), 8).tolist() == shards_of_ids(
+            np.arange(100), 8
+        ).tolist()
+
+    def test_single_shard_owns_everything(self):
+        assert shards_of_ids(np.arange(50), 1).tolist() == [0] * 50
+        assert shard_of_id(123, 1) == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_of_id(0, 0)
+        with pytest.raises(ValueError, match="n_shards"):
+            shards_of_ids(np.arange(3), 0)
+        with pytest.raises(ValueError, match="record_id"):
+            shard_of_id(-1, 4)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_in_memory_parity(self, reference, encoder, rows_a, rows_b, n_shards):
+        sharded = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=n_shards, threshold=4, k=30, seed=SEED
+        )
+        _assert_identical(reference.query_batch(rows_b), sharded.query_batch(rows_b))
+        _assert_identical(
+            reference.query_batch(rows_b, top_k=2),
+            sharded.query_batch(rows_b, top_k=2),
+        )
+
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_persisted_and_parallel_parity(
+        self, tmp_path, reference, encoder, rows_a, rows_b, n_shards
+    ):
+        sharded = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=n_shards, threshold=4, k=30, seed=SEED
+        )
+        bundle = sharded.save(tmp_path / "idx")
+        _assert_identical(reference.query_batch(rows_b), sharded.query_batch(rows_b))
+        parallel = ShardedQueryEngine.from_bundle(
+            bundle, parallel=ParallelConfig(n_jobs=2, backend="process")
+        )
+        _assert_identical(reference.query_batch(rows_b), parallel.query_batch(rows_b))
+        _assert_identical(
+            reference.query_batch(rows_b, top_k=3),
+            parallel.query_batch(rows_b, top_k=3),
+        )
+
+    def test_prefilter_parity(self, reference, encoder, rows_a, rows_b):
+        verify = VerifyConfig(tiers=(1,), block_rows=64)
+        sharded = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=3, threshold=4, k=30, seed=SEED, verify=verify
+        )
+        _assert_identical(reference.query_batch(rows_b), sharded.query_batch(rows_b))
+        assert sharded.stats["pairs_prefiltered"] > 0
+        assert 0.0 <= sharded.stats["prefilter_reject_rate"] <= 1.0
+
+    def test_thread_backend_parity(self, reference, encoder, rows_a, rows_b):
+        sharded = ShardedQueryEngine.build(
+            rows_a,
+            encoder,
+            n_shards=4,
+            threshold=4,
+            k=30,
+            seed=SEED,
+            parallel=ParallelConfig(n_jobs=2, backend="thread"),
+        )
+        _assert_identical(reference.query_batch(rows_b), sharded.query_batch(rows_b))
+
+    def test_empty_batch_and_threshold_override(self, encoder, rows_a, rows_b):
+        sharded = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        assert sharded.query_batch([]).n_queries == 0
+        strict = sharded.query_batch(rows_b, threshold=0)
+        assert strict.n_matches <= sharded.query_batch(rows_b).n_matches
+
+    def test_serves_golden_streaming_matches(self):
+        golden = json.loads(GOLDEN_PATH.read_text())["streaming"]
+        prob = make_problem()
+        calibrator = CompactHammingLinker.record_level(
+            threshold=THRESHOLD, k=K, seed=PROBLEM_SEED
+        )
+        enc = calibrator.calibrate(prob.dataset_a, prob.dataset_b)
+        sharded = ShardedQueryEngine.build(
+            [tuple(r) for r in prob.dataset_a.value_rows()],
+            enc,
+            n_shards=3,
+            threshold=THRESHOLD,
+            k=K,
+            seed=PROBLEM_SEED,
+        )
+        result = sharded.query_batch([tuple(r) for r in prob.dataset_b.value_rows()])
+        matches = sorted(
+            [int(a), int(b)] for b, a in zip(result.queries, result.ids)
+        )
+        assert matches == golden["matches"]
+        assert len(matches) == golden["n_matches"]
+
+
+class TestDurableIngest:
+    def test_acknowledged_records_survive_reopen(
+        self, tmp_path, encoder, rows_a, rows_b
+    ):
+        """ingest -> crash (drop the object) -> open replays the WAL."""
+        engine = ShardedQueryEngine.build(
+            rows_a[:-5], encoder, n_shards=3, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        gids = engine.ingest(rows_a[-5:])
+        assert gids == list(range(len(rows_a) - 5, len(rows_a)))
+        engine.close()  # nothing flushed beyond what ingest already fsync'd
+
+        reopened = ShardedQueryEngine.from_bundle(bundle)
+        assert reopened.n_indexed == len(rows_a)
+        assert reopened.index.counters["wal_replayed_records"] == 5.0
+        rebuilt = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        _assert_identical(rebuilt.query_batch(rows_b), reopened.query_batch(rows_b))
+        _assert_identical(
+            rebuilt.query_batch(rows_b, top_k=2),
+            reopened.query_batch(rows_b, top_k=2),
+        )
+
+    def test_compaction_folds_wal_and_preserves_results(
+        self, tmp_path, encoder, rows_a, rows_b
+    ):
+        engine = ShardedQueryEngine.build(
+            rows_a[:-5], encoder, n_shards=3, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        engine.ingest(rows_a[-5:])
+        before = engine.query_batch(rows_b)
+        assert engine.index.overlay_rows == 5
+        version = engine.compact()
+        assert version == 2
+        assert engine.index.overlay_rows == 0
+        _assert_identical(before, engine.query_batch(rows_b))
+        # the WAL is gone; a fresh open replays nothing and still agrees
+        reopened = ShardedQueryEngine.from_bundle(bundle)
+        assert reopened.index.counters["wal_replayed_records"] == 0.0
+        assert reopened.index.version == 2
+        _assert_identical(before, reopened.query_batch(rows_b))
+
+    def test_ingest_on_in_memory_engine_skips_wal(self, encoder, rows_a, rows_b):
+        engine = ShardedQueryEngine.build(
+            rows_a[:-3], encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        engine.ingest(rows_a[-3:])
+        rebuilt = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        _assert_identical(rebuilt.query_batch(rows_b), engine.query_batch(rows_b))
+
+    def test_parallel_serving_sees_acknowledged_ingest(
+        self, tmp_path, encoder, rows_a, rows_b
+    ):
+        """Pool workers attach via the bundle path and replay the WAL."""
+        engine = ShardedQueryEngine.from_bundle(
+            ShardedQueryEngine.build(
+                rows_a[:-5], encoder, n_shards=2, threshold=4, k=30, seed=SEED
+            ).save(tmp_path / "idx"),
+            parallel=ParallelConfig(n_jobs=2, backend="process"),
+        )
+        engine.ingest(rows_a[-5:])
+        rebuilt = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        _assert_identical(rebuilt.query_batch(rows_b), engine.query_batch(rows_b))
+
+
+class TestCrashRecovery:
+    def test_torn_wal_tail_replays_to_durable_prefix(
+        self, tmp_path, encoder, rows_a
+    ):
+        """Kill between append and fsync: replay stops at the last durable record."""
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        index = engine.index
+        durable_gid = index.next_id
+        shard = shard_of_id(durable_gid, 2)
+        torn_gid = next(
+            gid for gid in range(durable_gid + 1, durable_gid + 50)
+            if shard_of_id(gid, 2) == shard
+        )
+        segment = bundle / wal_name(shard)
+        with open(segment, "ab") as handle:
+            handle.write(frame(_wal_payload(durable_gid, rows_a[0])))
+            handle.write(frame(_wal_payload(torn_gid, rows_a[1]))[:-4])
+
+        with ShardedIndex.open(bundle) as reopened:
+            assert reopened.n_rows == len(rows_a) + 1  # durable record only
+            assert reopened.counters["wal_replayed_records"] == 1.0
+            assert reopened.counters["wal_torn_bytes"] > 0
+        # the torn tail was truncated away: the next open is clean
+        assert replay_segment(segment).clean
+        with ShardedIndex.open(bundle) as again:
+            assert again.counters["wal_torn_bytes"] == 0.0
+            assert again.n_rows == len(rows_a) + 1
+
+    def test_crc_corrupt_wal_record_is_not_replayed(self, tmp_path, encoder, rows_a):
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        gid = engine.index.next_id
+        segment = bundle / wal_name(shard_of_id(gid, 2))
+        framed = bytearray(frame(_wal_payload(gid, rows_a[0])))
+        framed[-1] ^= 0x01
+        segment.write_bytes(bytes(framed))
+        with ShardedIndex.open(bundle) as reopened:
+            assert reopened.n_rows == len(rows_a)
+            assert reopened.counters["wal_replayed_records"] == 0.0
+
+    def test_wal_record_in_wrong_shard_fails_loudly(self, tmp_path, encoder, rows_a):
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        gid = engine.index.next_id
+        wrong = 1 - shard_of_id(gid, 2)
+        (bundle / wal_name(wrong)).write_bytes(frame(_wal_payload(gid, rows_a[0])))
+        with pytest.raises(SnapshotError, match="hashes to shard"):
+            ShardedIndex.open(bundle).close()
+
+
+class TestAtomicPublish:
+    def test_failed_write_leaves_no_target(self, tmp_path):
+        def boom(tmp):
+            (tmp / "partial.npy").write_bytes(b"half")
+            raise RuntimeError("killed mid-save")
+
+        with pytest.raises(RuntimeError):
+            write_dir_atomic(tmp_path / "out", boom)
+        assert not (tmp_path / "out").exists()
+        assert not list(tmp_path.iterdir())  # temp dir cleaned up
+
+    def test_failed_resave_keeps_previous_bundle(
+        self, tmp_path, encoder, rows_a, monkeypatch
+    ):
+        """Satellite: a killed QueryEngine.save never corrupts the old bundle."""
+        engine = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        bundle = engine.save(tmp_path / "idx")
+        assert load_index_snapshot(bundle).n_rows == len(rows_a)
+
+        smaller = QueryEngine.build(rows_a[:10], encoder, threshold=4, k=30, seed=SEED)
+        import repro.core.persist as persist
+
+        real_save = persist.np.save
+        calls = {"n": 0}
+
+        def flaky_save(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise OSError("disk gone")
+            return real_save(*args, **kwargs)
+
+        monkeypatch.setattr(persist.np, "save", flaky_save)
+        with pytest.raises(OSError):
+            smaller.save(tmp_path / "idx")
+        monkeypatch.setattr(persist.np, "save", real_save)
+        assert load_index_snapshot(bundle).n_rows == len(rows_a)
+
+    def test_sharded_save_is_atomic(self, tmp_path, encoder, rows_a, monkeypatch):
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        first = ShardedQueryEngine.from_bundle(bundle)
+        assert first.n_indexed == len(rows_a)
+
+        import repro.core.shards as shards
+
+        def boom(*args, **kwargs):
+            raise OSError("killed mid-compaction")
+
+        # a compaction killed while writing shard bundles never swaps the
+        # root manifest: the previous generation stays authoritative
+        monkeypatch.setattr(shards, "save_index_snapshot", boom)
+        engine.ingest(rows_a[:2])
+        with pytest.raises(OSError):
+            engine.compact()
+        monkeypatch.undo()
+        reopened = ShardedQueryEngine.from_bundle(bundle)
+        assert reopened.index.version == 1
+        assert reopened.n_indexed == len(rows_a) + 2  # WAL still replays
+
+
+class TestStaleManifests:
+    @pytest.fixture
+    def bundle(self, tmp_path, encoder, rows_a):
+        return ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        ).save(tmp_path / "idx")
+
+    def test_kind_guards_both_loaders(self, tmp_path, bundle, encoder, rows_a):
+        with pytest.raises(SnapshotError, match="sharded"):
+            load_index_snapshot(bundle)
+        single = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        single_bundle = single.save(tmp_path / "single")
+        with pytest.raises(SnapshotError, match="not a sharded index"):
+            ShardedIndex.open(single_bundle).close()
+        assert is_sharded_bundle(bundle)
+        assert not is_sharded_bundle(single_bundle)
+        assert not is_sharded_bundle(tmp_path / "absent")
+
+    def test_stale_shard_row_count(self, bundle):
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        manifest["shards"][0]["n_rows"] += 1
+        (bundle / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="stale"):
+            ShardedIndex.open(bundle).close()
+
+    def test_swapped_root_encoder(self, bundle):
+        sidecar = json.loads((bundle / "encoder.json").read_text())
+        sidecar["attributes"][0]["hash_a"] += 1
+        (bundle / "encoder.json").write_text(json.dumps(sidecar))
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            ShardedIndex.open(bundle).close()
+
+    def test_unsupported_format_version(self, bundle):
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (bundle / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            ShardedIndex.open(bundle).close()
+
+    def test_non_monotonic_row_ids(self, bundle):
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        shard_dir = bundle / manifest["shards"][0]["dir"]
+        row_ids = np.load(shard_dir / "row_ids.npy")
+        np.save(shard_dir / "row_ids.npy", row_ids[::-1].copy(), allow_pickle=False)
+        with pytest.raises(SnapshotError, match="increasing"):
+            ShardedIndex.open(bundle).close()
+
+
+class TestMergedView:
+    def test_pipeline_equals_full_linker(self, tmp_path, problem, encoder, rows_a):
+        linker = CompactHammingLinker.record_level(threshold=4, k=30, seed=SEED)
+        linker.encoder = encoder
+        want = linker.link(problem.dataset_a, problem.dataset_b)
+        bundle = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=3, threshold=4, k=30, seed=SEED
+        ).save(tmp_path / "idx")
+        pipeline = LinkagePipeline(
+            [
+                LoadSnapshotStage(bundle),
+                QueryEmbedStage(),
+                ChunkedCandidateStage(),
+                ThresholdVerifyStage(4, sort_pairs=True),
+            ]
+        )
+        got = pipeline.run(problem.dataset_a, problem.dataset_b)
+        assert want.matches == got.matches
+        assert want.n_candidates == got.n_candidates
+        assert got.counters["snapshot_shards"] == 3.0
+        assert got.counters["wal_replayed_records"] == 0.0
+
+    def test_streaming_linker_loads_sharded_bundle(
+        self, tmp_path, encoder, rows_a, rows_b
+    ):
+        engine = ShardedQueryEngine.build(
+            rows_a[:-2], encoder, n_shards=3, threshold=4, k=30, seed=SEED
+        )
+        bundle = engine.save(tmp_path / "idx")
+        engine.ingest(rows_a[-2:])  # the merged view must fold the overlay
+        engine.close()
+        loaded = StreamingLinker.load_snapshot(bundle)
+        streaming = StreamingLinker(encoder, threshold=4, k=30, seed=SEED)
+        for values in rows_a:
+            streaming.insert(values)
+        assert loaded.query_batch(rows_b) == streaming.query_batch(rows_b)
+
+
+class TestServingStats:
+    def test_single_engine_accumulates_batch_timings(self, encoder, rows_a, rows_b):
+        """Satellite: per-batch wall-clock survives _merge_stats."""
+        engine = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        engine.query_batch(rows_b)
+        engine.query_batch(rows_b)
+        assert engine.stats["n_batches"] == 2.0
+        assert engine.stats["n_queries"] == float(2 * len(rows_b))
+        assert engine.stats["time_embed_s"] > 0.0
+        assert engine.stats["time_query_s"] > 0.0
+        assert "prefilter_reject_rate" not in engine.stats  # prefilter off
+
+    def test_reject_rate_is_recomputed_not_summed(self, encoder, rows_a, rows_b):
+        engine = QueryEngine.build(
+            rows_a,
+            encoder,
+            threshold=4,
+            k=30,
+            seed=SEED,
+            verify=VerifyConfig(tiers=(1,), block_rows=64),
+        )
+        engine.query_batch(rows_b)
+        once = engine.stats["prefilter_reject_rate"]
+        engine.query_batch(rows_b)
+        assert engine.stats["prefilter_reject_rate"] == pytest.approx(once)
+        assert 0.0 <= engine.stats["prefilter_reject_rate"] <= 1.0
+
+    def test_sharded_engine_reports_fanout_and_shard_stats(
+        self, encoder, rows_a, rows_b
+    ):
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=3, threshold=4, k=30, seed=SEED
+        )
+        engine.query_batch(rows_b)
+        for key in ("time_embed_s", "time_fanout_s", "time_merge_s"):
+            assert engine.stats[key] >= 0.0
+        assert engine.stats["n_batches"] == 1.0
+        assert len(engine.shard_stats) == 3
+        assert all(s["time_query_s"] >= 0.0 for s in engine.shard_stats)
+
+
+class TestShardedCLI:
+    @pytest.fixture(scope="class")
+    def csv_pair(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli")
+        dataset = NCVRGenerator().generate(60, seed=5)
+        ref, extra = root / "ref.csv", root / "extra.csv"
+        write_dataset(dataset, ref)
+        write_dataset(NCVRGenerator().generate(20, seed=6), extra)
+        return ref, extra
+
+    def test_build_query_parity_and_ingest_compact(self, tmp_path, csv_pair, capsys):
+        from repro.cli import main
+
+        ref, extra = csv_pair
+        single, sharded = tmp_path / "single", tmp_path / "sharded"
+        base = ["index", "build", str(ref), "--threshold", "4", "--seed", "7"]
+        assert main(base + ["-o", str(single)]) == 0
+        assert main(base + ["-o", str(sharded), "--shards", "3"]) == 0
+        assert is_sharded_bundle(sharded) and not is_sharded_bundle(single)
+
+        out_single, out_sharded = tmp_path / "m1.csv", tmp_path / "m2.csv"
+        query = ["index", "query", "--top-k", "2"]
+        assert main(query + [str(single), str(ref), "-o", str(out_single)]) == 0
+        assert main(
+            query + [str(sharded), str(ref), "-o", str(out_sharded), "--n-jobs", "2"]
+        ) == 0
+        assert out_single.read_text() == out_sharded.read_text()
+
+        assert main(["index", "ingest", str(sharded), str(extra)]) == 0
+        assert main(["index", "compact", str(sharded)]) == 0
+        assert main(["index", "bench", str(sharded), str(ref), "--repeat", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "ingested 20 records" in output
+        assert "version 2" in output
+        assert "fanout" in output
+
+    def test_ingest_rejects_single_bundle(self, tmp_path, csv_pair):
+        from repro.cli import main
+
+        ref, extra = csv_pair
+        single = tmp_path / "single"
+        assert (
+            main(
+                ["index", "build", str(ref), "-o", str(single), "--threshold", "4"]
+            )
+            == 0
+        )
+        with pytest.raises(SystemExit, match="not a sharded bundle"):
+            main(["index", "ingest", str(single), str(extra)])
+        with pytest.raises(SystemExit, match="not a sharded bundle"):
+            main(["index", "compact", str(single)])

@@ -1,0 +1,142 @@
+"""Tests for the write-ahead segment substrate (repro.wal).
+
+The contract under test is durability framing: a record is surfaced by
+replay **iff** its complete CRC-valid frame reached the file, replay
+stops at the first torn frame (never resynchronises past garbage), and
+truncation restores a segment to exactly its durable prefix so appends
+can resume.
+"""
+
+import zlib
+
+import pytest
+
+from repro.wal import (
+    FRAME_OVERHEAD,
+    SegmentWriter,
+    frame,
+    replay_segment,
+    truncate_segment,
+)
+
+
+class TestFrame:
+    def test_layout(self):
+        framed = frame(b"hello")
+        assert len(framed) == FRAME_OVERHEAD + 5
+        assert framed[FRAME_OVERHEAD:] == b"hello"
+        assert int.from_bytes(framed[:4], "little") == 5
+        assert int.from_bytes(framed[4:8], "little") == zlib.crc32(b"hello")
+
+    def test_empty_payload_is_framable(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(frame(b""))
+        result = replay_segment(path)
+        assert result.records == [b""] and result.clean
+
+
+class TestReplay:
+    def test_missing_file_is_empty_and_clean(self, tmp_path):
+        result = replay_segment(tmp_path / "absent.wal")
+        assert result.records == [] and result.durable_bytes == 0 and result.clean
+
+    def test_empty_file_is_empty_and_clean(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"")
+        assert replay_segment(path).clean
+
+    def test_records_come_back_in_append_order(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        payloads = [b"first", b"second", b"third record, longer"]
+        path.write_bytes(b"".join(frame(p) for p in payloads))
+        result = replay_segment(path)
+        assert result.records == payloads
+        assert result.clean
+        assert result.durable_bytes == path.stat().st_size
+
+    def test_truncated_header_tail(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(frame(b"durable") + b"\x05\x00")  # half a header
+        result = replay_segment(path)
+        assert result.records == [b"durable"]
+        assert result.torn_bytes == 2
+
+    def test_truncated_payload_tail(self, tmp_path):
+        """Kill between append and fsync: the torn frame is never surfaced."""
+        path = tmp_path / "seg.wal"
+        torn = frame(b"acknowledged") + frame(b"in flight")[:-3]
+        path.write_bytes(torn)
+        result = replay_segment(path)
+        assert result.records == [b"acknowledged"]
+        assert result.durable_bytes == len(frame(b"acknowledged"))
+        assert result.torn_bytes == len(frame(b"in flight")) - 3
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        """A bit-flipped record hides itself AND everything behind it."""
+        path = tmp_path / "seg.wal"
+        good, bad, behind = frame(b"good"), bytearray(frame(b"flip")), frame(b"behind")
+        bad[-1] ^= 0x40
+        path.write_bytes(good + bytes(bad) + behind)
+        result = replay_segment(path)
+        assert result.records == [b"good"]
+        assert result.torn_bytes == len(bad) + len(behind)
+
+    def test_zero_length_garbage_header_is_torn(self, tmp_path):
+        """A header promising length 0 with a wrong CRC does not loop forever."""
+        path = tmp_path / "seg.wal"
+        path.write_bytes(frame(b"ok") + b"\x00\x00\x00\x00\xff\xff\xff\xff")
+        result = replay_segment(path)
+        assert result.records == [b"ok"]
+        assert not result.clean
+
+
+class TestTruncate:
+    def test_truncate_then_append_recovers(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(frame(b"keep") + frame(b"torn")[:-2])
+        result = replay_segment(path)
+        truncate_segment(path, result.durable_bytes)
+        assert path.stat().st_size == result.durable_bytes
+        with SegmentWriter(path) as writer:
+            writer.append(b"after recovery")
+        assert replay_segment(path).records == [b"keep", b"after recovery"]
+
+    def test_rejects_negative_offset(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(frame(b"x"))
+        with pytest.raises(ValueError, match="durable_bytes"):
+            truncate_segment(path, -1)
+
+
+class TestSegmentWriter:
+    def test_append_is_immediately_replayable(self, tmp_path):
+        path = tmp_path / "dir" / "seg.wal"  # parent dirs are created
+        writer = SegmentWriter(path)
+        writer.append(b"one")
+        assert replay_segment(path).records == [b"one"]  # durable before ack
+        writer.append(b"two")
+        writer.close()
+        assert replay_segment(path).records == [b"one", b"two"]
+
+    def test_batched_sync(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        with SegmentWriter(path) as writer:
+            for i in range(5):
+                writer.append(f"r{i}".encode(), sync=False)
+            writer.sync()
+        assert len(replay_segment(path).records) == 5
+
+    def test_reopen_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        with SegmentWriter(path) as writer:
+            writer.append(b"first session")
+        with SegmentWriter(path) as writer:
+            writer.append(b"second session")
+        assert replay_segment(path).records == [b"first session", b"second session"]
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = SegmentWriter(tmp_path / "seg.wal")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(b"late")
