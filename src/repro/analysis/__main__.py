@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from fnmatch import fnmatch
 from pathlib import Path
 
 from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
@@ -28,7 +29,7 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
             description=(
                 "reprolint: repo-specific static analysis "
                 "(per-file RL001-RL006, whole-program RL101-RL105, "
-                "flow-sensitive RL201-RL205)"
+                "flow-sensitive RL201-RL205, interprocedural RL301-RL305)"
             ),
         )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
@@ -43,14 +44,24 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
         action="append",
         default=[],
         metavar="RLxxx",
-        help="run only these rules (repeatable, or comma separated)",
+        help="run only these rules (repeatable, comma separated, or a "
+        "glob like RL3*)",
     )
     parser.add_argument(
         "--ignore",
         action="append",
         default=[],
         metavar="RLxxx",
-        help="skip these rules (repeatable, or comma separated)",
+        help="skip these rules (repeatable, comma separated, or a "
+        "glob like RL2*)",
+    )
+    parser.add_argument(
+        "--warn-unused-suppressions",
+        action="store_true",
+        default=None,
+        help="report suppression comments no finding needed (RL007); "
+        "also configurable as warn-unused-suppressions in "
+        "[tool.reprolint]",
     )
     parser.add_argument(
         "--no-cache",
@@ -97,6 +108,15 @@ def _split_ids(values: Sequence[str]) -> list[str]:
     return ids
 
 
+def _pattern_matches_known(pattern: str, known: set[str]) -> bool:
+    """Is a ``--select``/``--ignore`` entry an id or glob that can match?"""
+    if pattern in known:
+        return True
+    if "*" in pattern or "?" in pattern or "[" in pattern:
+        return any(fnmatch(rule_id, pattern) for rule_id in known)
+    return False
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments.
 
@@ -106,11 +126,18 @@ def run_lint(args: argparse.Namespace) -> int:
     """
     select, ignore = _split_ids(args.select), _split_ids(args.ignore)
     known = all_rule_ids()
-    unknown = [rule_id for rule_id in [*select, *ignore] if rule_id not in known]
+    unknown = [
+        pattern
+        for pattern in [*select, *ignore]
+        if not _pattern_matches_known(pattern, known)
+    ]
     if unknown:
+        prefixes = sorted({rule_id[:3] + "*" for rule_id in known})
         sys.stderr.write(
-            f"repro lint: unknown rule id(s): {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(known))})\n"
+            f"repro lint: unknown rule id(s) or pattern(s): "
+            f"{', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))}; "
+            f"globs over {', '.join(prefixes)} also work)\n"
         )
         return 2
     missing = [path for path in args.paths if not Path(path).exists()]
@@ -126,7 +153,11 @@ def run_lint(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError, TypeError) as exc:
             sys.stderr.write(f"repro lint: cannot read baseline: {exc}\n")
             return 2
-    config = load_config().with_overrides(select=select, ignore=ignore)
+    config = load_config().with_overrides(
+        select=select,
+        ignore=ignore,
+        warn_unused_suppressions=args.warn_unused_suppressions,
+    )
     cache = None
     if not args.no_cache:
         cache_path = (
@@ -142,8 +173,11 @@ def run_lint(args: argparse.Namespace) -> int:
         sys.stderr.write(
             "reprolint: {files} file(s), {parsed} parsed, "
             "{cache_hits} cache hit(s), {project_runs} project pass(es)\n"
+            "reprolint: interprocedural {inter_module_runs} module(s) "
+            "checked, {inter_cache_hits} replayed from cache\n"
             "reprolint: file phase {file_phase_ms} ms, "
-            "project phase {project_phase_ms} ms\n".format(**stats)
+            "project phase {project_phase_ms} ms, "
+            "inter phase {inter_phase_ms} ms\n".format(**stats)
         )
     if args.write_baseline is not None:
         count = write_baseline(findings, Path(args.write_baseline))

@@ -1,19 +1,25 @@
 """Content-hash incremental cache for reprolint (``.reprolint_cache.json``).
 
-A lint run is two phases: per-file rules over each AST, then
-whole-program rules over the :class:`~repro.analysis.project.ProjectModel`.
-Both are cached:
+A lint run is four phases; three have their own cache section:
 
 * **Per file** — keyed by the sha256 of the file's bytes.  A hit skips
   parsing entirely: the stored findings *and* the stored
-  :class:`ModuleSummary` are replayed, so phase 2 still has a complete
-  model.
+  :class:`ModuleSummary` are replayed, so later phases still have a
+  complete model.  (Flow rules run inside this phase and share its
+  entries.)
 * **Whole program** — keyed by the hash of every module summary (plus
   the config fingerprint).  Editing a comment re-hashes one file but
   leaves its summary identical, so the project key is unchanged and the
   cross-module rules are skipped too.  Any change that alters the
   import graph, a class table or stage dataflow changes some summary
   and invalidates the project entry.
+* **Interprocedural, per module** — keyed by the summary digests of the
+  module's call-graph *dependency closure* (itself, everything it calls
+  or imports, transitively).  Editing a callee therefore re-lints
+  exactly its transitive callers; unrelated modules replay their cached
+  findings.  Entries also carry the (line, rule id) pairs a suppression
+  comment silenced, so unused-suppression detection stays correct on
+  warm runs.
 
 The whole cache is dropped when the config fingerprint or cache format
 version changes.  The file is advisory: a corrupt or unreadable cache
@@ -32,7 +38,9 @@ from repro.analysis.config import LintConfig
 from repro.analysis.project import SUMMARY_VERSION, ModuleSummary
 
 #: Bump when the cache file layout changes.
-CACHE_VERSION = 1
+#: v2: project section gained "used" suppressions; new per-module
+#: "inter" section for interprocedural findings.
+CACHE_VERSION = 2
 
 #: Default cache file name, created next to ``pyproject.toml``.
 CACHE_FILENAME = ".reprolint_cache.json"
@@ -73,6 +81,14 @@ def _finding_from_dict(entry: dict[str, Any]) -> Any:
     )
 
 
+def _used_to_json(used: list[tuple[int, str]]) -> list[list[Any]]:
+    return [[line, rule_id] for line, rule_id in used]
+
+
+def _used_from_json(raw: Any) -> list[tuple[int, str]]:
+    return [(int(line), str(rule_id)) for line, rule_id in raw]
+
+
 @dataclass
 class FileEntry:
     """Cached per-file lint result."""
@@ -80,6 +96,19 @@ class FileEntry:
     hash: str
     findings: list[Any]
     summary: ModuleSummary | None
+
+
+@dataclass
+class InterEntry:
+    """Cached interprocedural result for one module.
+
+    ``key`` hashes the module's dependency-closure digests; ``used``
+    records the (line, rule id) pairs suppression comments silenced.
+    """
+
+    key: str
+    findings: list[Any]
+    used: list[tuple[int, str]]
 
 
 @dataclass
@@ -91,6 +120,10 @@ class LintCache:
     files: dict[str, FileEntry] = field(default_factory=dict)
     project_key: str = ""
     project_findings: list[Any] | None = None
+    #: Per path: suppressed (line, rule id) pairs of the project phase.
+    project_used: dict[str, list[tuple[int, str]]] = field(default_factory=dict)
+    #: Module name -> cached interprocedural result.
+    inter: dict[str, InterEntry] = field(default_factory=dict)
     hits: int = 0
     dirty: bool = False
 
@@ -130,6 +163,18 @@ class LintCache:
                     cache.project_findings = [
                         _finding_from_dict(f) for f in findings
                     ]
+                cache.project_used = {
+                    path_key: _used_from_json(pairs)
+                    for path_key, pairs in project.get("used", {}).items()
+                }
+            for module_name, raw_entry in data.get("inter", {}).items():
+                cache.inter[module_name] = InterEntry(
+                    key=raw_entry["key"],
+                    findings=[
+                        _finding_from_dict(f) for f in raw_entry["findings"]
+                    ],
+                    used=_used_from_json(raw_entry.get("used", [])),
+                )
         except (AttributeError, KeyError, TypeError, ValueError):
             # Structurally-corrupt entries (valid JSON, wrong shape):
             # degrade to a cold run rather than failing the lint.
@@ -157,15 +202,48 @@ class LintCache:
 
     # -- whole-program phase -------------------------------------------
 
-    def project_lookup(self, key: str) -> list[Any] | None:
-        if key and key == self.project_key:
-            return self.project_findings
+    def project_lookup(
+        self, key: str
+    ) -> tuple[list[Any], dict[str, list[tuple[int, str]]]] | None:
+        if key and key == self.project_key and self.project_findings is not None:
+            return self.project_findings, self.project_used
         return None
 
-    def store_project(self, key: str, findings: list[Any]) -> None:
+    def store_project(
+        self,
+        key: str,
+        findings: list[Any],
+        used: dict[str, list[tuple[int, str]]] | None = None,
+    ) -> None:
         self.project_key = key
         self.project_findings = list(findings)
+        self.project_used = dict(used or {})
         self.dirty = True
+
+    # -- interprocedural phase -----------------------------------------
+
+    def inter_lookup(self, module_name: str, key: str) -> InterEntry | None:
+        entry = self.inter.get(module_name)
+        if entry is not None and entry.key == key:
+            return entry
+        return None
+
+    def store_inter(
+        self,
+        module_name: str,
+        key: str,
+        findings: list[Any],
+        used: list[tuple[int, str]],
+    ) -> None:
+        self.inter[module_name] = InterEntry(key, list(findings), list(used))
+        self.dirty = True
+
+    def prune_inter(self, keep: set[str]) -> None:
+        """Drop inter entries for modules no longer in the lint set."""
+        stale = [name for name in self.inter if name not in keep]
+        for name in stale:
+            del self.inter[name]
+            self.dirty = True
 
     # -- persistence ---------------------------------------------------
 
@@ -195,6 +273,18 @@ class LintCache:
                     if self.project_findings is not None
                     else None
                 ),
+                "used": {
+                    path_key: _used_to_json(pairs)
+                    for path_key, pairs in self.project_used.items()
+                },
+            },
+            "inter": {
+                module_name: {
+                    "key": entry.key,
+                    "findings": [_finding_to_dict(f) for f in entry.findings],
+                    "used": _used_to_json(entry.used),
+                }
+                for module_name, entry in self.inter.items()
             },
         }
         try:

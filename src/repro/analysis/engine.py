@@ -21,10 +21,19 @@ flow graph (:mod:`repro.analysis.cfg`) and hands graph + function +
 context to each flow rule, which typically runs a fixpoint analysis
 (:mod:`repro.analysis.dataflow`) over it.  Flow findings are produced
 during the per-file pass, so they are cached per file exactly like
-phase-1 findings and a warm run re-parses nothing.  All three phases
-flow through the same severity, scoping, suppression and caching
-machinery, so a cross-module or path-sensitive finding behaves exactly
-like a per-file one.
+phase-1 findings and a warm run re-parses nothing.
+
+Interprocedural rules (:class:`InterRule`, RL301+) are the fourth
+phase: the engine assembles the summaries into a
+:class:`~repro.analysis.callgraph.CallGraph`, wraps it with the
+protocol table's effect closures in an :class:`InterContext`, and
+checks each module against it.  Findings anchor in the module being
+checked, so they cache *per module*, keyed by the summary digests of
+the module's call-graph dependency closure — editing a callee
+re-lints exactly its transitive callers.  All four phases flow through
+the same severity, scoping, suppression and caching machinery, so a
+cross-module or path-sensitive finding behaves exactly like a
+per-file one.
 
 Suppressions are comment-driven: a physical line containing
 ``# reprolint: disable=RL001`` (ids comma separated) silences those
@@ -46,11 +55,18 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.analysis.cache import LintCache, content_hash
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.config import LintConfig
 from repro.analysis.project import ModuleSummary, ProjectModel, extract_module, module_name_for
+from repro.analysis.summaries import EffectIndex
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+#: Rule id of unused-suppression findings.  Synthesised by the engine
+#: itself (no rule class): detection needs the used-suppression record
+#: of every phase, which only the engine sees.
+UNUSED_SUPPRESSION_ID = "RL007"
 
 
 @dataclass(frozen=True, order=True)
@@ -137,6 +153,14 @@ def _collect_suppressions(source: str) -> dict[int, frozenset[str]]:
         # a parse error; suppression info is best-effort by then.
         pass
     return suppressions
+
+
+def _group_used(used: set[tuple[int, str]]) -> dict[str, list[str]]:
+    """Group silenced (line, rule id) pairs into summary layout."""
+    grouped: dict[str, list[str]] = {}
+    for line, rule_id in sorted(used):
+        grouped.setdefault(str(line), []).append(rule_id)
+    return grouped
 
 
 class Rule:
@@ -284,12 +308,71 @@ class FlowRule:
         )
 
 
+@dataclass
+class InterContext:
+    """Shared state for one interprocedural phase run.
+
+    ``effects`` is lazy: a run where every module hits the cache never
+    computes a closure.
+    """
+
+    model: ProjectModel
+    graph: CallGraph
+    effects: EffectIndex
+    config: LintConfig
+
+
+class InterRule:
+    """Base class for interprocedural rules (RL301+).
+
+    Inter rules are checked *per module*: :meth:`check_module` receives
+    one :class:`ModuleSummary` plus the :class:`InterContext` holding
+    the whole-program call graph and effect closures.  Every finding
+    must anchor in the checked module — that contract is what lets the
+    engine cache inter findings per module, keyed on the module's
+    dependency closure, and re-lint only the transitive callers of an
+    edited callee.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    default_include: tuple[str, ...] = ()
+    default_exclude: tuple[str, ...] = ()
+    default_severity: str = "error"
+
+    _registry: dict[str, type["InterRule"]] = {}
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.rule_id:
+            InterRule._registry[cls.rule_id] = cls
+
+    @classmethod
+    def registered(cls) -> dict[str, type["InterRule"]]:
+        import repro.analysis.rules  # noqa: F401
+
+        return dict(cls._registry)
+
+    def check_module(
+        self, module: ModuleSummary, ctx: InterContext
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            path=path, line=line, col=col, rule_id=self.rule_id, message=message
+        )
+
+
 def all_rule_ids() -> set[str]:
-    """Every registered rule id: per-file, whole-program and flow."""
+    """Every rule id: per-file, whole-program, flow and interprocedural
+    rules, plus the engine-synthesised unused-suppression check."""
     return (
         set(Rule.registered())
         | set(ProjectRule.registered())
         | set(FlowRule.registered())
+        | set(InterRule.registered())
+        | {UNUSED_SUPPRESSION_ID}
     )
 
 
@@ -311,6 +394,11 @@ class LintEngine:
         self.flow_rules: list[FlowRule] = [
             rule_cls()
             for rule_id, rule_cls in sorted(FlowRule.registered().items())
+            if config.rule_enabled(rule_id)
+        ]
+        self.inter_rules: list[InterRule] = [
+            rule_cls()
+            for rule_id, rule_cls in sorted(InterRule.registered().items())
             if config.rule_enabled(rule_id)
         ]
         self._dispatch: dict[type[ast.AST], list[Rule]] = {}
@@ -336,16 +424,27 @@ class LintEngine:
                 [Finding(path, line, col, "RL000", f"syntax error: {exc.msg}")],
                 None,
             )
-        findings = self._check_tree(path, source, tree)
-        summary = extract_module(module_name_for(Path(path)), path, tree)
+        used: set[tuple[int, str]] = set()
+        findings = self._check_tree(path, source, tree, used)
+        summary = extract_module(
+            module_name_for(Path(path)),
+            path,
+            tree,
+            protocols=self.config.protocols,
+        )
         summary.suppressions = {
             str(line): sorted(ids)
             for line, ids in _collect_suppressions(source).items()
         }
+        summary.used_suppressions = _group_used(used)
         return findings, summary
 
     def _check_tree(
-        self, path: str, source: str, tree: ast.Module
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        used: set[tuple[int, str]] | None = None,
     ) -> list[Finding]:
         active = [
             rule for rule in self.rules if self.config.rule_applies(rule, path)
@@ -369,16 +468,23 @@ class LintEngine:
                     rule.rule_id, rule.default_severity
                 )
                 for finding in rule.check_node(node, ctx):
-                    if not ctx.is_suppressed(finding):
+                    if ctx.is_suppressed(finding):
+                        if used is not None:
+                            used.add((finding.line, finding.rule_id))
+                    else:
                         if finding.severity != severity:
                             finding = replace(finding, severity=severity)
                         findings.append(finding)
         if flow_active:
-            findings.extend(self._check_flow(tree, ctx, flow_active))
+            findings.extend(self._check_flow(tree, ctx, flow_active, used))
         return sorted(findings, key=finding_sort_key)
 
     def _check_flow(
-        self, tree: ast.Module, ctx: FileContext, rules: Sequence[FlowRule]
+        self,
+        tree: ast.Module,
+        ctx: FileContext,
+        rules: Sequence[FlowRule],
+        used: set[tuple[int, str]] | None = None,
     ) -> list[Finding]:
         """Phase 3: one CFG per function, every flow rule over each.
 
@@ -396,7 +502,10 @@ class LintEngine:
                     rule.rule_id, rule.default_severity
                 )
                 for finding in rule.check_function(graph, node, ctx):
-                    if not ctx.is_suppressed(finding):
+                    if ctx.is_suppressed(finding):
+                        if used is not None:
+                            used.add((finding.line, finding.rule_id))
+                    else:
                         if finding.severity != severity:
                             finding = replace(finding, severity=severity)
                         findings.append(finding)
@@ -406,8 +515,16 @@ class LintEngine:
         source = path.read_text(encoding="utf-8")
         return self.lint_source(str(path), source)
 
-    def run_project_rules(self, model: ProjectModel) -> list[Finding]:
-        """Phase 2: every enabled whole-program rule over the model."""
+    def run_project_rules(
+        self,
+        model: ProjectModel,
+        used_out: dict[str, set[tuple[int, str]]] | None = None,
+    ) -> list[Finding]:
+        """Phase 2: every enabled whole-program rule over the model.
+
+        ``used_out``, when given, collects (line, rule id) pairs a
+        suppression comment silenced, per finding path.
+        """
         by_path: dict[str, ModuleSummary] = {
             summary.path: summary for summary in model.modules.values()
         }
@@ -423,11 +540,36 @@ class LintEngine:
                 if summary is not None and summary.is_suppressed(
                     finding.line, finding.rule_id
                 ):
+                    if used_out is not None:
+                        used_out.setdefault(finding.path, set()).add(
+                            (finding.line, finding.rule_id)
+                        )
                     continue
                 if finding.severity != severity:
                     finding = replace(finding, severity=severity)
                 findings.append(finding)
         return sorted(findings, key=finding_sort_key)
+
+    def run_inter_rules(
+        self, module: ModuleSummary, ctx: InterContext
+    ) -> tuple[list[Finding], set[tuple[int, str]]]:
+        """Phase 4 for one module: findings plus silenced (line, id) pairs."""
+        findings: list[Finding] = []
+        used: set[tuple[int, str]] = set()
+        for rule in self.inter_rules:
+            severity = self.config.severity_for(
+                rule.rule_id, rule.default_severity
+            )
+            for finding in rule.check_module(module, ctx):
+                if not self.config.rule_applies(rule, finding.path):
+                    continue
+                if module.is_suppressed(finding.line, finding.rule_id):
+                    used.add((finding.line, finding.rule_id))
+                    continue
+                if finding.severity != severity:
+                    finding = replace(finding, severity=severity)
+                findings.append(finding)
+        return sorted(findings, key=finding_sort_key), used
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -463,6 +605,12 @@ def _project_cache_key(
     return hashlib.sha256((fingerprint + blob).encode("utf-8")).hexdigest()
 
 
+def _summary_digest(summary: ModuleSummary) -> str:
+    """Content hash of one module summary (for inter-phase cache keys)."""
+    blob = json.dumps(summary.to_dict(), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     config: LintConfig | None = None,
@@ -477,11 +625,14 @@ def lint_paths(
     is deterministic regardless of argument order.
 
     ``cache`` enables the incremental cache (hits skip parsing and, when
-    no summary changed, the whole-program phase).  ``stats``, when given,
-    is filled with ``files`` / ``parsed`` / ``cache_hits`` /
-    ``project_runs`` counters plus ``file_phase_ms`` /
-    ``project_phase_ms`` wall-clock timings — the cache tests assert on
-    the counters, never the timings.
+    no summary changed, the whole-program phase; interprocedural
+    findings replay per module unless a dependency-closure summary
+    changed).  ``stats``, when given, is filled with ``files`` /
+    ``parsed`` / ``cache_hits`` / ``project_runs`` /
+    ``inter_module_runs`` / ``inter_cache_hits`` counters plus
+    ``file_phase_ms`` / ``project_phase_ms`` / ``inter_phase_ms``
+    wall-clock timings — the cache tests assert on the counters, never
+    the timings.
     """
     if config is None:
         from repro.analysis.config import load_config
@@ -493,8 +644,11 @@ def lint_paths(
         "parsed": 0,
         "cache_hits": 0,
         "project_runs": 0,
+        "inter_module_runs": 0,
+        "inter_cache_hits": 0,
         "file_phase_ms": 0,
         "project_phase_ms": 0,
+        "inter_phase_ms": 0,
     }
     findings: list[Finding] = []
     summaries: list[ModuleSummary] = []
@@ -526,25 +680,151 @@ def lint_paths(
     counters["file_phase_ms"] = int(
         (time.monotonic() - file_phase_start) * 1000
     )
+    model: ProjectModel | None = None
+    project_used: dict[str, set[tuple[int, str]]] = {}
     if engine.project_rules:
         project_phase_start = time.monotonic()
         project_findings: list[Finding] | None = None
         project_key = ""
         if cache is not None:
             project_key = _project_cache_key(cache.fingerprint, summaries)
-            project_findings = cache.project_lookup(project_key)
+            cached_project = cache.project_lookup(project_key)
+            if cached_project is not None:
+                project_findings, cached_used = cached_project
+                for path_key, pairs in cached_used.items():
+                    project_used.setdefault(path_key, set()).update(pairs)
         if project_findings is None:
             counters["project_runs"] += 1
             model = ProjectModel.from_summaries(summaries)
-            project_findings = engine.run_project_rules(model)
+            project_findings = engine.run_project_rules(model, project_used)
             if cache is not None:
-                cache.store_project(project_key, project_findings)
+                cache.store_project(
+                    project_key,
+                    project_findings,
+                    {
+                        path_key: sorted(pairs)
+                        for path_key, pairs in project_used.items()
+                    },
+                )
         findings.extend(project_findings)
         counters["project_phase_ms"] = int(
             (time.monotonic() - project_phase_start) * 1000
+        )
+    inter_used: dict[str, set[tuple[int, str]]] = {}
+    if engine.inter_rules:
+        inter_phase_start = time.monotonic()
+        if model is None:
+            model = ProjectModel.from_summaries(summaries)
+        graph = CallGraph.build(model)
+        effects = EffectIndex(model, graph, config.protocols.events)
+        ictx = InterContext(
+            model=model, graph=graph, effects=effects, config=config
+        )
+        closures = graph.module_closure()
+        digests = {
+            name: _summary_digest(summary)
+            for name, summary in model.modules.items()
+        }
+        for name in sorted(model.modules):
+            summary = model.modules[name]
+            key = ""
+            if cache is not None:
+                dep_blob = "|".join(
+                    f"{dep}={digests[dep]}"
+                    for dep in sorted(closures.get(name, frozenset((name,))))
+                    if dep in digests
+                )
+                key = hashlib.sha256(
+                    f"{cache.fingerprint}|{name}|{dep_blob}".encode("utf-8")
+                ).hexdigest()
+                entry = cache.inter_lookup(name, key)
+                if entry is not None:
+                    counters["inter_cache_hits"] += 1
+                    findings.extend(entry.findings)
+                    inter_used.setdefault(summary.path, set()).update(
+                        entry.used
+                    )
+                    continue
+            counters["inter_module_runs"] += 1
+            module_findings, module_used = engine.run_inter_rules(
+                summary, ictx
+            )
+            findings.extend(module_findings)
+            inter_used.setdefault(summary.path, set()).update(module_used)
+            if cache is not None:
+                cache.store_inter(name, key, module_findings, sorted(module_used))
+        if cache is not None:
+            cache.prune_inter(set(model.modules))
+        counters["inter_phase_ms"] = int(
+            (time.monotonic() - inter_phase_start) * 1000
+        )
+    if config.warn_unused_suppressions and config.rule_enabled(
+        UNUSED_SUPPRESSION_ID
+    ):
+        findings.extend(
+            _unused_suppression_findings(
+                config, summaries, project_used, inter_used
+            )
         )
     if cache is not None:
         cache.save()
     if stats is not None:
         stats.update(counters)
     return sorted(set(findings), key=finding_sort_key)
+
+
+def _unused_suppression_findings(
+    config: LintConfig,
+    summaries: Sequence[ModuleSummary],
+    project_used: dict[str, set[tuple[int, str]]],
+    inter_used: dict[str, set[tuple[int, str]]],
+) -> list[Finding]:
+    """Synthesise RL007 findings for suppressions nothing needed.
+
+    A suppression is *used* when some phase produced a finding it
+    silenced.  Per-file/flow usage travels inside the cached module
+    summary; project and inter usage arrive from their own cache
+    sections, so detection stays accurate on fully warm runs.
+    Suppressions of rules the run disabled (``--select``/``--ignore``)
+    are skipped rather than flagged: the rule never had a chance to
+    fire.
+    """
+    known = all_rule_ids()
+    severity = config.severity_for(UNUSED_SUPPRESSION_ID, "warn")
+    findings: list[Finding] = []
+    for summary in summaries:
+        used: set[tuple[int, str]] = set()
+        for line_str, ids in summary.used_suppressions.items():
+            for rule_id in ids:
+                used.add((int(line_str), rule_id))
+        used |= project_used.get(summary.path, set())
+        used |= inter_used.get(summary.path, set())
+        for line_str, ids in summary.suppressions.items():
+            line = int(line_str)
+            if summary.is_suppressed(line, UNUSED_SUPPRESSION_ID):
+                continue
+            for rule_id in sorted(ids):
+                if rule_id == UNUSED_SUPPRESSION_ID:
+                    continue
+                if (line, rule_id) in used:
+                    continue
+                if rule_id in known:
+                    if not config.rule_enabled(rule_id):
+                        continue
+                    message = (
+                        f"unused suppression: no {rule_id} finding is "
+                        "reported on this line"
+                    )
+                else:
+                    message = f"suppression names unknown rule {rule_id}"
+                findings.append(
+                    Finding(
+                        summary.path,
+                        line,
+                        1,
+                        UNUSED_SUPPRESSION_ID,
+                        message,
+                        severity=severity,
+                    )
+                )
+    return findings

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.analysis.cfg import CFGNode, build_cfg, evaluated
+from repro.analysis.config import ProtocolConfig
 from repro.analysis.dataflow import DataflowAnalysis, solve
 from repro.analysis.rngpatterns import (
     RNG_CONSTRUCTORS,
@@ -39,10 +40,13 @@ from repro.analysis.rngpatterns import (
     is_global_rng_call,
     seed_argument,
 )
+from repro.analysis.summaries import augment_function
 
 #: Bump when the ModuleSummary shape changes; invalidates cached summaries.
 #: 2: added FunctionInfo.ctx_maybe_unset (flow-sensitive ctx facts, RL203).
-SUMMARY_VERSION = 2
+#: 3: phase-4 procedure summaries (call_sites, must_calls, call_orders,
+#:    receivers, leaks, returns facts) and used_suppressions.
+SUMMARY_VERSION = 3
 
 #: Method names that mutate their receiver in place.
 _MUTATOR_METHODS = frozenset(
@@ -151,6 +155,31 @@ class FunctionInfo:
     #: (name, lineno) of in-place mutations of names not local to the body.
     mutations: list[list[Any]] = field(default_factory=list)
     rng_calls: list[RngCall] = field(default_factory=list)
+    #: Every dotted call in the body (nested defs included):
+    #: ``[name, lineno, col, use]`` where ``use`` is ``"stmt"`` for a
+    #: discarded expression-statement call, ``"bound:<var>"`` for a
+    #: single-name binding, ``""`` otherwise.  Call-graph input.
+    call_sites: list[list[Any]] = field(default_factory=list)
+    #: Dotted calls completed on every path to a normal return.
+    must_calls: list[str] = field(default_factory=list)
+    #: False when no path reaches a normal return (always raises/loops).
+    returns_normally: bool = True
+    #: Per call site in protocol-scoped modules: ``[name, lineno, col,
+    #: [must-before calls...], [must-after calls...] | None]`` — the
+    #: RL301 input.  ``None`` after-set marks a site that cannot reach a
+    #: normal return (the after-contract is vacuous there).
+    call_orders: list[list[Any]] = field(default_factory=list)
+    #: Method-call traces on constructor-bound locals (RL303 input):
+    #: ``[var, [[creator, line], ...], [[method, line, col, [prior...]],
+    #: ...]]`` per traced local.
+    receivers: list[list[Any]] = field(default_factory=list)
+    #: Call results bound to a local and dropped without close/escape:
+    #: ``[callee, var, line, col]`` — the RL305 input.
+    leaks: list[list[Any]] = field(default_factory=list)
+    #: Returns facts for the returns-handle closure (RL305).
+    returns_acquirer: bool = False
+    returns_calls: list[str] = field(default_factory=list)
+    returns_line: int = 0
 
 
 @dataclass
@@ -224,6 +253,10 @@ class ModuleSummary:
     #: round-tripping) -> disabled rule ids.  Attached by the engine so
     #: project rules honour suppressions without re-reading sources.
     suppressions: dict[str, list[str]] = field(default_factory=dict)
+    #: Suppressions that absorbed a per-file finding: line (as str) ->
+    #: rule ids actually silenced there.  Attached by the engine;
+    #: feeds unused-suppression detection (RL007).
+    used_suppressions: dict[str, list[str]] = field(default_factory=dict)
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         return rule_id in self.suppressions.get(str(line), ())
@@ -256,6 +289,34 @@ class ModuleSummary:
                 global_decls=list(entry["global_decls"]),
                 mutations=[list(m) for m in entry["mutations"]],
                 rng_calls=[RngCall(**call) for call in entry["rng_calls"]],
+                call_sites=[list(site) for site in entry["call_sites"]],
+                must_calls=list(entry["must_calls"]),
+                returns_normally=entry["returns_normally"],
+                call_orders=[
+                    [
+                        order[0],
+                        order[1],
+                        order[2],
+                        list(order[3]),
+                        list(order[4]) if order[4] is not None else None,
+                    ]
+                    for order in entry["call_orders"]
+                ],
+                receivers=[
+                    [
+                        trace[0],
+                        [list(creation) for creation in trace[1]],
+                        [
+                            [call[0], call[1], call[2], list(call[3])]
+                            for call in trace[2]
+                        ],
+                    ]
+                    for trace in entry["receivers"]
+                ],
+                leaks=[list(leak) for leak in entry["leaks"]],
+                returns_acquirer=entry["returns_acquirer"],
+                returns_calls=list(entry["returns_calls"]),
+                returns_line=entry["returns_line"],
             )
 
         def ref(entry: Mapping[str, Any] | None) -> CallableRef | None:
@@ -314,6 +375,10 @@ class ModuleSummary:
             suppressions={
                 key: list(value) for key, value in data["suppressions"].items()
             },
+            used_suppressions={
+                key: list(value)
+                for key, value in data["used_suppressions"].items()
+            },
         )
 
 
@@ -370,6 +435,13 @@ class _Extractor:
         self.ctx_functions: list[
             tuple[FunctionInfo, ast.FunctionDef | ast.AsyncFunctionDef]
         ] = []
+        #: (info, def node) of every summarised function/method, for the
+        #: phase-4 procedure-summary post-pass.
+        self.all_functions: list[
+            tuple[FunctionInfo, ast.FunctionDef | ast.AsyncFunctionDef]
+        ] = []
+        #: Call-node id() -> how its value is used ("stmt"/"bound:<var>").
+        self._call_use: dict[int, str] = {}
 
     # -- entry ---------------------------------------------------------
 
@@ -473,6 +545,7 @@ class _Extractor:
             self._locals = _local_names(node)
             if len(self._scope) == 0:
                 self.summary.functions[node.name] = info
+                self.all_functions.append((info, node))
             if info.ctx_param is not None:
                 self.ctx_functions.append((info, node))
         else:
@@ -523,7 +596,8 @@ class _Extractor:
             name = dotted_name(base)
             if name is not None:
                 info.bases.append(name)
-        if not self._scope and self._func is None:
+        registered = not self._scope and self._func is None
+        if registered:
             self.summary.classes[node.name] = info
 
         self._scope.append(node.name)
@@ -575,6 +649,8 @@ class _Extractor:
                 self._scope.pop()
                 self._func, self._locals = was_func, was_locals
                 info.methods[stmt.name] = method
+                if registered:
+                    self.all_functions.append((method, stmt))
                 if method.ctx_param is not None:
                     self.ctx_functions.append((method, stmt))
             else:
@@ -584,6 +660,10 @@ class _Extractor:
     # -- expression-level facts ---------------------------------------
 
     def _handle_generic(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            # The call's value is discarded; recorded before the child
+            # visit reaches the Call itself.
+            self._call_use[id(node.value)] = "stmt"
         if isinstance(node, ast.Lambda):
             # Lambda params are local while the body is scanned.
             for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
@@ -613,6 +693,15 @@ class _Extractor:
     def _record_call(self, node: ast.Call) -> None:
         name = dotted_name(node.func)
         func = self._func
+        if name is not None and func is not None:
+            func.call_sites.append(
+                [
+                    name,
+                    node.lineno,
+                    node.col_offset + 1,
+                    self._call_use.get(id(node), ""),
+                ]
+            )
         if name is not None:
             if name == "parallel_map" or name.endswith(".parallel_map"):
                 self._record_parallel_call(node)
@@ -641,6 +730,13 @@ class _Extractor:
 
     def _record_assignment(self, node: ast.Assign | ast.AugAssign) -> None:
         func = self._func
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            self._call_use[id(node.value)] = f"bound:{node.targets[0].id}"
         if func is None:
             return
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
@@ -946,13 +1042,24 @@ def _compute_ctx_maybe_unset(
     return result
 
 
-def extract_module(name: str, path: str, tree: ast.Module) -> ModuleSummary:
+def extract_module(
+    name: str,
+    path: str,
+    tree: ast.Module,
+    *,
+    protocols: ProtocolConfig | None = None,
+) -> ModuleSummary:
     """Build the :class:`ModuleSummary` for one parsed module.
 
     After the single-pass walk, a flow-sensitive post-pass computes
     :attr:`FunctionInfo.ctx_maybe_unset` for every ctx-taking function:
     a CFG per function, a must-written fixpoint over it, and a scan of
-    the reachable reads against the per-statement states.
+    the reachable reads against the per-statement states.  A second
+    post-pass (:func:`repro.analysis.summaries.augment_function`) adds
+    the phase-4 procedure summaries; its protocol-scoped fields
+    (``call_orders``, ``receivers``) are only recorded for modules an
+    ordering/typestate contract covers, which is cache-safe because the
+    config fingerprint covers the protocol table.
     """
     is_package = Path(path).name == "__init__.py"
     extractor = _Extractor(name, path, is_package)
@@ -962,6 +1069,15 @@ def extract_module(name: str, path: str, tree: ast.Module) -> ModuleSummary:
         assert info.ctx_param is not None
         info.ctx_maybe_unset = _compute_ctx_maybe_unset(
             def_node, info.ctx_param, helper_writes
+        )
+    record_orders = protocols is not None and protocols.order_scoped(name)
+    record_receivers = protocols is not None and protocols.typestate_scoped(name)
+    for info, def_node in extractor.all_functions:
+        augment_function(
+            info,
+            def_node,
+            record_orders=record_orders,
+            record_receivers=record_receivers,
         )
     return summary
 

@@ -47,6 +47,25 @@ RL205     :mod:`repro.analysis.rules.spawn_safety`       picklable initializers
 (RL203 consumes flow-sensitive ``ctx_maybe_unset`` facts from the model
 extractor but joins them *across* stages, so it registers as a phase-2
 project rule.)
+
+Interprocedural rules (phase 4, per module over the
+:class:`~repro.analysis.callgraph.CallGraph` and the
+``[tool.reprolint.protocols]`` table; see
+:mod:`repro.analysis.summaries`):
+
+========  ====================================================  =======================
+Rule id   Module                                                Guards
+========  ====================================================  =======================
+RL301     :mod:`repro.analysis.rules.crash_consistency`         fsync fences publishes
+RL302     :mod:`repro.analysis.rules.durability`                fsync before ack
+RL303     :mod:`repro.analysis.rules.snapshot_typestate`        no use after close
+RL304     :mod:`repro.analysis.rules.interprocedural_purity`    pure worker chains
+RL305     :mod:`repro.analysis.rules.ownership`                 helper-returned handles
+========  ====================================================  =======================
+
+RL007 (unused/unknown suppression comments) has no rule class: the
+engine synthesises it from the used-suppression record of every phase.
+It is off by default; enable with ``--warn-unused-suppressions``.
 """
 
 # NOTE: no ``from __future__ import annotations`` here -- the future
@@ -55,17 +74,22 @@ project rule.)
 from repro.analysis.rules import (  # noqa: F401
     annotations,
     architecture,
+    crash_consistency,
     ctx_refinement,
     dtype_discipline,
+    durability,
     dynamic_exec,
     exception_hygiene,
     float_equality,
+    interprocedural_purity,
     mutable_defaults,
+    ownership,
     parallel_safety,
     print_calls,
     randomness,
     resource_lifetime,
     seeding,
+    snapshot_typestate,
     spawn_safety,
     stage_contract,
 )
@@ -73,17 +97,22 @@ from repro.analysis.rules import (  # noqa: F401
 __all__ = [
     "annotations",
     "architecture",
+    "crash_consistency",
     "ctx_refinement",
     "dtype_discipline",
+    "durability",
     "dynamic_exec",
     "exception_hygiene",
     "float_equality",
+    "interprocedural_purity",
     "mutable_defaults",
+    "ownership",
     "parallel_safety",
     "print_calls",
     "randomness",
     "resource_lifetime",
     "seeding",
+    "snapshot_typestate",
     "spawn_safety",
     "stage_contract",
 ]

@@ -1,0 +1,95 @@
+"""RL301 -- crash-consistency ordering around publish points.
+
+An atomic-publish sequence is only atomic if durability barriers fence
+the rename: the payload must be fsynced *before* ``os.replace`` makes
+it visible (otherwise a crash can publish a name pointing at
+unwritten bytes), and the parent directory must be fsynced *after* it
+(otherwise the rename itself may not survive).  The repo's persist and
+shard layers route this through helpers (``fsync_file``,
+``_fsync_dir``), so a purely syntactic check cannot see the barrier.
+
+This rule checks the ``[[tool.reprolint.protocols.order]]`` contracts:
+for every call site matching the protocol's *anchor* event in a scoped
+module, some call completed on **every** path into the site must emit
+the *before* event (directly or through the may-emit call-graph
+closure), and some call on every completing path out of it must emit
+the *after* event.  The after-check deliberately ignores paths that
+raise: publish-then-crash is the window write-ahead replay repairs,
+and the must-after summaries are computed over normal edges only.
+
+Anchors are matched syntactically (written or resolved dotted name
+against the anchor event's patterns) — a helper that *contains* a
+rename is that helper's own anchor, in its own module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.engine import Finding, InterContext, InterRule
+from repro.analysis.project import ModuleSummary
+
+
+class CrashConsistencyOrder(InterRule):
+    rule_id = "RL301"
+    summary = "publish calls must be fenced by durability barriers"
+    default_severity = "error"
+
+    def check_module(
+        self, module: ModuleSummary, ctx: InterContext
+    ) -> Iterable[Finding]:
+        protocols = [
+            proto
+            for proto in ctx.config.protocols.orders
+            if proto.scoped(module.name)
+        ]
+        if not protocols:
+            return
+        for fnode in ctx.graph.module_nodes(module.name):
+            for name, line, col, before, after in fnode.info.call_orders:
+                for proto in protocols:
+                    anchor_patterns = ctx.effects.patterns(proto.anchor)
+                    if not anchor_patterns or not ctx.effects.name_matches(
+                        module.name, fnode.qualname, name, anchor_patterns
+                    ):
+                        continue
+                    suffix = f" — {proto.message}" if proto.message else ""
+                    if proto.before and not self._any_emits(
+                        ctx, module.name, fnode.qualname, before, proto.before
+                    ):
+                        yield self.finding(
+                            module.path,
+                            line,
+                            col,
+                            f"`{name}` (anchor `{proto.anchor}`) is not "
+                            f"preceded by `{proto.before}` on every path "
+                            "into this site" + suffix,
+                        )
+                    if (
+                        proto.after
+                        and after is not None
+                        and not self._any_emits(
+                            ctx, module.name, fnode.qualname, after, proto.after
+                        )
+                    ):
+                        yield self.finding(
+                            module.path,
+                            line,
+                            col,
+                            f"`{name}` (anchor `{proto.anchor}`) is not "
+                            f"followed by `{proto.after}` on every "
+                            "completing path out of this site" + suffix,
+                        )
+
+    @staticmethod
+    def _any_emits(
+        ctx: InterContext,
+        module_name: str,
+        scope: str,
+        names: list[str],
+        event: str,
+    ) -> bool:
+        return any(
+            ctx.effects.site_emits(module_name, scope, name, event)
+            for name in names
+        )

@@ -1,0 +1,55 @@
+"""RL302 -- durability before acknowledgement.
+
+The write-ahead log's contract is that a record acknowledged to the
+caller survives a crash.  That reduces to a *must* property on a small
+set of named functions (``SegmentWriter.sync``, ``truncate_segment``,
+``fsync_file``): every control-flow path that reaches a normal return
+must emit the ``fsync`` event first.  A path that raises is exempt —
+the caller never got the acknowledgement — which is why the check runs
+on the must-emit closure (intersection over paths, exception edges
+carrying the pre-state) rather than a syntactic grep.
+
+The checked functions are listed in
+``[[tool.reprolint.protocols.require]]``; the event propagates
+interprocedurally, so ``sync()`` delegating to a helper that fsyncs on
+all its own paths still passes.  Functions that never return normally
+(always raise) are vacuously durable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.engine import Finding, InterContext, InterRule
+from repro.analysis.project import ModuleSummary
+
+
+class DurabilityBeforeAck(InterRule):
+    rule_id = "RL302"
+    summary = "ack paths must fsync on every normal return"
+    default_severity = "error"
+
+    def check_module(
+        self, module: ModuleSummary, ctx: InterContext
+    ) -> Iterable[Finding]:
+        for proto in ctx.config.protocols.requires:
+            for dotted in proto.functions:
+                node_id = ctx.graph.find_function(dotted)
+                if node_id is None:
+                    continue
+                if node_id.split(":", 1)[0] != module.name:
+                    continue  # reported by the defining module's run
+                info = ctx.graph.nodes[node_id].info
+                if not info.returns_normally:
+                    continue
+                if node_id in ctx.effects.must_emit(proto.event):
+                    continue
+                suffix = f" — {proto.message}" if proto.message else ""
+                yield self.finding(
+                    module.path,
+                    info.lineno,
+                    info.col,
+                    f"`{dotted}` can reach a normal return without "
+                    f"emitting `{proto.event}`; callers treat its return "
+                    "as a durability acknowledgement" + suffix,
+                )

@@ -1,0 +1,169 @@
+"""RL304 -- parallel purity and determinism through the call graph.
+
+RL103 checks the function handed to ``parallel_map`` directly; a worker
+that *delegates* its impurity (``worker`` calls ``_accumulate`` which
+appends to a module-level list, or ``_score`` which draws from the
+process-global RNG) passed silently.  This rule closes that hole: it
+resolves each ``parallel_map`` worker/initializer to its call-graph
+node and walks every function reachable from it, flagging helpers that
+declare ``global``, mutate non-local state, or draw unseeded
+randomness.
+
+The per-role semantics mirror RL103 exactly: helpers reached from a
+*worker* are checked for mutation and randomness; helpers reached from
+an *initializer* only for randomness (pinning module globals is an
+initializer chain's documented job).  The worker function itself is
+skipped here — RL103 already reports it, at its definition, with the
+better anchor.  Findings anchor at the ``parallel_map`` call site of
+the checked module and name the call chain, so the report stays
+actionable when the impure helper lives three modules away.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import Finding, InterContext, InterRule
+from repro.analysis.project import CallableRef, ModuleSummary, ParallelCall
+
+_Seen = set[tuple[str, str, str, str]]
+
+
+class InterproceduralParallelPurity(InterRule):
+    rule_id = "RL304"
+    summary = "helpers reached from parallel workers must stay pure and seeded"
+    default_exclude = ("tests/*", "test_*.py", "conftest.py")
+
+    def check_module(
+        self, module: ModuleSummary, ctx: InterContext
+    ) -> Iterable[Finding]:
+        seen: _Seen = set()
+        for pcall in module.parallel_calls:
+            for ref, role in (
+                (pcall.worker, "worker"),
+                (pcall.initializer, "initializer"),
+            ):
+                if ref is None:
+                    continue
+                yield from self._check_ref(ctx, module, pcall, ref, role, seen)
+
+    def _check_ref(
+        self,
+        ctx: InterContext,
+        module: ModuleSummary,
+        pcall: ParallelCall,
+        ref: CallableRef,
+        role: str,
+        seen: _Seen,
+    ) -> Iterator[Finding]:
+        if ref.kind == "name":
+            target = ctx.graph.resolve_call(module.name, pcall.scope, ref.name)
+            if target is not None:
+                yield from self._walk(
+                    ctx, module, pcall, role, target, (ref.name,), seen,
+                    check_start=False,
+                )
+        elif ref.kind == "inline" and ref.inline is not None:
+            resolved: set[str] = set()
+            for name, _, _, _ in ref.inline.call_sites:
+                target = ctx.graph.resolve_call(
+                    module.name, ref.inline.qualname, name
+                )
+                if target is None or target in resolved:
+                    continue
+                resolved.add(target)
+                yield from self._walk(
+                    ctx, module, pcall, role, target,
+                    (f"<{role}>", ctx.graph.nodes[target].qualname), seen,
+                    check_start=True,
+                )
+
+    def _walk(
+        self,
+        ctx: InterContext,
+        module: ModuleSummary,
+        pcall: ParallelCall,
+        role: str,
+        start: str,
+        base_chain: tuple[str, ...],
+        seen: _Seen,
+        *,
+        check_start: bool,
+    ) -> Iterator[Finding]:
+        visited: dict[str, tuple[str, ...]] = {start: base_chain}
+        queue = [start]
+        while queue:
+            node_id = queue.pop(0)
+            chain = visited[node_id]
+            if node_id != start or check_start:
+                yield from self._check_helper(
+                    ctx, module, pcall, role, node_id, chain, seen
+                )
+            for callee in sorted(ctx.graph.edges.get(node_id, frozenset())):
+                if callee not in visited:
+                    visited[callee] = chain + (
+                        ctx.graph.nodes[callee].qualname,
+                    )
+                    queue.append(callee)
+
+    def _check_helper(
+        self,
+        ctx: InterContext,
+        module: ModuleSummary,
+        pcall: ParallelCall,
+        role: str,
+        node_id: str,
+        chain: tuple[str, ...],
+        seen: _Seen,
+    ) -> Iterator[Finding]:
+        info = ctx.graph.nodes[node_id].info
+        via = " -> ".join(chain)
+        if role == "worker":
+            for name in sorted(set(info.global_decls)):
+                key = (node_id, role, "global", name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    module.path,
+                    pcall.lineno,
+                    pcall.col,
+                    f"parallel worker chain `{via}` reaches "
+                    f"`{info.qualname}`, which declares `global {name}`; "
+                    "the write never leaves the worker process",
+                )
+            mutated: set[str] = set()
+            for name, _lineno in info.mutations:
+                if name in mutated:
+                    continue
+                mutated.add(name)
+                key = (node_id, role, "mutation", name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    module.path,
+                    pcall.lineno,
+                    pcall.col,
+                    f"parallel worker chain `{via}` reaches "
+                    f"`{info.qualname}`, which mutates non-local `{name}`; "
+                    "per-process copies diverge from the n_jobs=1 path",
+                )
+        for call in info.rng_calls:
+            key = (node_id, role, "rng", call.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            what = (
+                "process-global RNG state"
+                if call.global_state
+                else "an unseeded RNG"
+            )
+            yield self.finding(
+                module.path,
+                pcall.lineno,
+                pcall.col,
+                f"parallel {role} chain `{via}` reaches `{info.qualname}`, "
+                f"which draws from {what} (`{call.name}`); results would "
+                "depend on the process fan-out",
+            )

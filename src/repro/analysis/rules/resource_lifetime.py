@@ -29,24 +29,7 @@ from repro.analysis.cfg import CFG, CFGNode, evaluated
 from repro.analysis.dataflow import DataflowAnalysis, solve
 from repro.analysis.engine import FileContext, Finding, FlowRule
 from repro.analysis.rules.common import dotted_name
-
-#: Callables whose result is an OS resource with a ``close()`` contract.
-_ACQUIRERS = frozenset(
-    {
-        "open",
-        "io.open",
-        "os.fdopen",
-        "mmap.mmap",
-        "gzip.open",
-        "bz2.open",
-        "lzma.open",
-        "tarfile.open",
-        "zipfile.ZipFile",
-        "socket.socket",
-        "tempfile.TemporaryFile",
-        "tempfile.NamedTemporaryFile",
-    }
-)
+from repro.analysis.summaries import is_acquirer_name
 
 #: One tracked handle: (variable name, acquisition line, acquisition col).
 _Handle = tuple[str, int, int]
@@ -54,8 +37,10 @@ _State = frozenset[_Handle]
 
 
 def _is_acquirer(call: ast.Call) -> bool:
+    # The acquirer table lives in repro.analysis.summaries so RL305's
+    # returns-handle closure and this rule can never disagree.
     name = dotted_name(call.func)
-    return name is not None and (name in _ACQUIRERS or name.endswith(".open"))
+    return name is not None and is_acquirer_name(name)
 
 
 def _acquired_name(stmt: ast.AST | None) -> str | None:

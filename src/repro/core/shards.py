@@ -56,6 +56,7 @@ from repro.core.persist import (
     IndexSnapshot,
     SnapshotError,
     _dict_fingerprint,
+    _fsync_dir,
     encoder_fingerprint,
     encoder_from_dict,
     encoder_to_dict,
@@ -742,6 +743,9 @@ def _swap_root_manifest(root: Path, manifest: dict[str, Any]) -> None:
     tmp.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
     fsync_file(tmp)
     os.replace(tmp, root / MANIFEST_NAME)
+    # Without a directory fsync the rename itself may not survive a
+    # crash, leaving the old generation authoritative after an ack.
+    _fsync_dir(root)
 
 
 def _sweep_orphans(root: Path, live_dirs: set[str]) -> None:
