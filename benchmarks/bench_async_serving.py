@@ -1,0 +1,306 @@
+"""Async serving benchmark: micro-batched front-end vs serial batch-1.
+
+Measures the tentpole claim of ``repro.serve.asyncserve`` on the NCVR PL
+cell at ``REPRO_BENCH_SCALE`` and writes ``BENCH_async_serving.json`` at
+the repo root:
+
+* **serial baseline** — the request stream answered one
+  ``query_batch([row])`` call at a time: the QPS a client gets without
+  coalescing, and the per-request latency floor.
+* **closed-loop** — ``CONCURRENCY`` loop-driven clients, each awaiting
+  its answer before sending the next request, through
+  ``AsyncQueryServer.query``.  This is the throughput cell: admission
+  pressure keeps the batcher's flushes near ``max_batch``.
+* **open-loop** — the same stream fired on a seeded Poisson schedule
+  (``poisson_arrivals``) at a multiple of the serial QPS, the
+  arrival-rate-controlled regime an SLO is written against; records the
+  achieved QPS and latency distribution under that offered load.
+
+Every answered request is compared against the serial baseline — the
+coalesced answer must be byte-identical per request.  ``--check`` (the
+CI async-serving-smoke gate) exits non-zero on any parity failure, on
+open-loop rejections, or when the closed- and open-loop QPS fail their
+speedup floors over serial batch-1 (10x / 6x at full scale; at smoke
+scale the floors drop because a ~300-record index answers batch-1
+calls in tens of microseconds — there is little per-call overhead left
+for coalescing to amortise).
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from common import poisson_arrivals, query_stream, scaled
+
+from repro.core.linker import CompactHammingLinker
+from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
+from repro.evaluation.reporting import banner, format_table
+from repro.serve import AsyncQueryServer, BatcherConfig, QueryEngine
+from repro.serve.asyncserve import QueueFullError
+
+BASE_N = 20000
+TINY_N = 300
+SEED = 7
+THRESHOLD = 4
+K = 30
+CONCURRENCY = 512
+MAX_BATCH = 256
+MAX_WAIT_US = 2000.0
+#: Open-loop offered rate as a multiple of the measured serial QPS.
+OPEN_LOOP_RATE_FACTOR = 12.0
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_async_serving.json"
+
+#: Gates (see module docstring).
+MIN_CLOSED_SPEEDUP = 10.0
+MIN_OPEN_SPEEDUP = 6.0
+MIN_CLOSED_SPEEDUP_TINY = 2.0
+MIN_OPEN_SPEEDUP_TINY = 1.5
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    if not ordered:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    def at(q):
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))] * 1e3
+    return {"p50_ms": at(0.50), "p95_ms": at(0.95), "p99_ms": at(0.99)}
+
+
+def _measure_serial(engine, stream):
+    """Batch-1 reference: per-request answers, latencies and QPS."""
+    engine.query_batch([stream[0]])  # warm up (page cache, caches)
+    answers = []
+    latencies = []
+    started = time.perf_counter()
+    for row in stream:
+        call_start = time.perf_counter()
+        answers.append(engine.query_batch([row]).matches()[0])
+        latencies.append(time.perf_counter() - call_start)
+    elapsed = time.perf_counter() - started
+    return answers, latencies, len(stream) / elapsed
+
+
+async def _run_closed_loop(server, stream, concurrency):
+    """``concurrency`` clients, each one request in flight at a time."""
+    answers = [None] * len(stream)
+    latencies = [0.0] * len(stream)
+    cursor = 0
+
+    async def client():
+        nonlocal cursor
+        while cursor < len(stream):
+            i = cursor
+            cursor += 1  # no await between read and bump: no lost indexes
+            call_start = time.perf_counter()
+            answers[i] = await server.query(stream[i])
+            latencies[i] = time.perf_counter() - call_start
+
+    started = time.perf_counter()
+    await asyncio.gather(*[client() for __ in range(min(concurrency, len(stream)))])
+    elapsed = time.perf_counter() - started
+    return answers, latencies, len(stream) / elapsed
+
+
+async def _run_open_loop(server, stream, offsets):
+    """Fire request ``i`` at ``offsets[i]``; arrival rate, not clients,
+    controls the load.  Rejected requests (queue full) stay ``None``."""
+    answers = [None] * len(stream)
+    latencies = [0.0] * len(stream)
+    n_rejected = 0
+    started = time.perf_counter()
+
+    async def fire(i):
+        nonlocal n_rejected
+        delay = started + offsets[i] - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        call_start = time.perf_counter()
+        try:
+            answers[i] = await server.query(stream[i])
+        except QueueFullError:
+            n_rejected += 1
+            return
+        latencies[i] = time.perf_counter() - call_start
+
+    await asyncio.gather(*[fire(i) for i in range(len(stream))])
+    elapsed = time.perf_counter() - started
+    answered = len(stream) - n_rejected
+    return answers, latencies, answered / elapsed, n_rejected
+
+
+def _parity(reference, answers):
+    """True when every answered request matches the serial baseline."""
+    return all(
+        got is None or got == want for got, want in zip(answers, reference)
+    )
+
+
+async def _measure_async(bundle, stream, serial_answers, serial_qps):
+    config = BatcherConfig(max_batch=MAX_BATCH, max_wait_us=MAX_WAIT_US)
+    cells = {}
+    async with AsyncQueryServer.from_bundle(bundle, config=config) as server:
+        answers, latencies, qps = await _run_closed_loop(
+            server, stream, CONCURRENCY
+        )
+        cells["closed_loop"] = {
+            "concurrency": min(CONCURRENCY, len(stream)),
+            "qps": qps,
+            "speedup_vs_serial": qps / serial_qps,
+            "identical": _parity(serial_answers, answers),
+            "n_unanswered": sum(a is None for a in answers),
+            **_percentiles(latencies),
+        }
+        closed_stats = server.stats()
+
+    offered = OPEN_LOOP_RATE_FACTOR * serial_qps
+    offsets = poisson_arrivals(offered, len(stream), seed=SEED)
+    async with AsyncQueryServer.from_bundle(bundle, config=config) as server:
+        answers, latencies, qps, n_rejected = await _run_open_loop(
+            server, stream, offsets
+        )
+        answered = [lat for a, lat in zip(answers, latencies) if a is not None]
+        cells["open_loop"] = {
+            "offered_qps": offered,
+            "qps": qps,
+            "speedup_vs_serial": qps / serial_qps,
+            "identical": _parity(serial_answers, answers),
+            "n_rejected": n_rejected,
+            **_percentiles(answered),
+        }
+        open_stats = server.stats()
+    return cells, closed_stats, open_stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when a gate fails (CI async-serving-smoke)",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke scale: small problem, short stream, relaxed speedup floors",
+    )
+    args = parser.parse_args(argv)
+
+    n = TINY_N if args.tiny else scaled(BASE_N)
+    n_requests = 400 if args.tiny else 4000
+    min_closed = MIN_CLOSED_SPEEDUP_TINY if args.tiny else MIN_CLOSED_SPEEDUP
+    min_open = MIN_OPEN_SPEEDUP_TINY if args.tiny else MIN_OPEN_SPEEDUP
+
+    prob = build_linkage_problem(NCVRGenerator(), n, scheme_pl(), seed=SEED)
+    rows_a = [tuple(r) for r in prob.dataset_a.value_rows()]
+    rows_b = [tuple(r) for r in prob.dataset_b.value_rows()]
+    linker = CompactHammingLinker.record_level(threshold=THRESHOLD, k=K, seed=SEED)
+    encoder = linker.calibrate(prob.dataset_a, prob.dataset_b)
+    stream = query_stream(rows_b, n_requests, seed=SEED)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        built = QueryEngine.build(rows_a, encoder, threshold=THRESHOLD, k=K, seed=SEED)
+        bundle = built.save(tmp + "/idx")
+
+        engine = QueryEngine.from_snapshot(bundle)
+        serial_answers, serial_latencies, serial_qps = _measure_serial(
+            engine, stream
+        )
+
+        cells, closed_stats, open_stats = asyncio.run(
+            _measure_async(bundle, stream, serial_answers, serial_qps)
+        )
+
+    serial_cell = {"qps": serial_qps, **_percentiles(serial_latencies)}
+    all_identical = cells["closed_loop"]["identical"] and cells["open_loop"]["identical"]
+
+    payload = {
+        "benchmark": "async_serving",
+        "dataset": "ncvr-pl",
+        "n_records_per_side": n,
+        "n_requests": n_requests,
+        "threshold": THRESHOLD,
+        "k": K,
+        "seed": SEED,
+        "tiny": bool(args.tiny),
+        "batcher": {"max_batch": MAX_BATCH, "max_wait_us": MAX_WAIT_US},
+        "serial_batch_1": serial_cell,
+        "closed_loop": cells["closed_loop"],
+        "open_loop": cells["open_loop"],
+        "closed_loop_stats": closed_stats,
+        "open_loop_stats": open_stats,
+        "gates": {
+            "min_closed_loop_speedup": min_closed,
+            "min_open_loop_speedup": min_open,
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(banner(f"async serving @ n={n} per side, {n_requests} requests"))
+    rows = [
+        [
+            label,
+            f"{cell['qps']:.0f}",
+            f"{cell['qps'] / serial_qps:.1f}x",
+            f"{cell['p50_ms']:.2f}",
+            f"{cell['p95_ms']:.2f}",
+            f"{cell['p99_ms']:.2f}",
+        ]
+        for label, cell in (
+            ("serial batch-1", serial_cell),
+            ("closed-loop", cells["closed_loop"]),
+            ("open-loop", cells["open_loop"]),
+        )
+    ]
+    print(format_table(["mode", "QPS", "vs serial", "p50_ms", "p95_ms", "p99_ms"], rows))
+    counters = closed_stats["counters"]
+    print(
+        f"closed-loop batches: {counters.get('n_batches', 0):.0f} "
+        f"(mean size {closed_stats['batch_size']['mean']:.1f}, "
+        f"p50 {closed_stats['batch_size']['p50']:.0f}), "
+        f"queue peak {counters.get('queue_depth_peak', 0):.0f}, "
+        f"deadline misses {counters.get('n_deadline_missed', 0):.0f}"
+    )
+    print(
+        f"open-loop offered {cells['open_loop']['offered_qps']:.0f} QPS, "
+        f"achieved {cells['open_loop']['qps']:.0f} QPS, "
+        f"rejected {cells['open_loop']['n_rejected']}"
+    )
+    print(f"results identical to serial baseline: {all_identical}")
+    print(f"wrote {OUTPUT}")
+
+    if args.check:
+        failures = []
+        if not all_identical:
+            failures.append("coalesced answers differ from the serial baseline")
+        if cells["closed_loop"]["n_unanswered"]:
+            failures.append(
+                f"{cells['closed_loop']['n_unanswered']} closed-loop requests unanswered"
+            )
+        if cells["open_loop"]["n_rejected"]:
+            failures.append(
+                f"{cells['open_loop']['n_rejected']} open-loop requests rejected"
+            )
+        closed_speedup = cells["closed_loop"]["speedup_vs_serial"]
+        if closed_speedup < min_closed:
+            failures.append(
+                f"closed-loop QPS only {closed_speedup:.1f}x serial "
+                f"(need >= {min_closed}x)"
+            )
+        open_speedup = cells["open_loop"]["speedup_vs_serial"]
+        if open_speedup < min_open:
+            failures.append(
+                f"open-loop QPS only {open_speedup:.1f}x serial (need >= {min_open}x)"
+            )
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

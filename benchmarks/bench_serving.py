@@ -23,6 +23,12 @@ Times the serving story of ``repro.serve`` on the NCVR PL cell at
   ``ShardedQueryEngine`` over a persisted sharded bundle at ``n_shards``
   in {1, 4}; every cell must be byte-identical to the single-shard
   reference (the scatter-gather merge is deterministic by construction).
+* **sharded small batch** — batch-64 QPS on the 4-shard bundle with a
+  4-worker process pool configured, serial in-process scan
+  (``serial_batch_limit`` default) vs forced pool fan-out
+  (``serial_batch_limit=None``); answers must match byte-for-byte.
+  This is the regression cell behind the small-batch serial path: pool
+  dispatch dominates when ``batch x shards`` is small.
 * **ingest + replay** — online appends into the sharded bundle's WAL,
   the replay cost a fresh open pays before compaction, and the
   compaction that folds the log back to zero-replay opens.
@@ -53,6 +59,7 @@ from repro.hamming.lsh import HammingLSH
 from repro.hamming.sketch import VerifyConfig
 from repro.perf import ParallelConfig
 from repro.serve import QueryEngine, ShardedQueryEngine
+from repro.serve.sharded import DEFAULT_SERIAL_BATCH_LIMIT
 
 #: Serving amortisation is a scale story — the reference side of a
 #: deployment is large, so this benchmark defaults to 10x the linkage
@@ -65,6 +72,7 @@ K = 30
 BATCH_SIZES = (1, 64, 1024)
 JOBS = (1, 4)
 SHARDS = (1, 4)
+SMALL_BATCH = 64
 TOP_K = 5
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 
@@ -216,6 +224,49 @@ def _measure_sharded(tmp, rows_a, rows_b, encoder, reference, repeats):
     return cells, identical
 
 
+def _measure_sharded_small_batch(bundle, rows_b, n_calls):
+    """Batch-64 on the 4-shard bundle: serial in-process scan vs pool fan-out.
+
+    Both engines carry the same 4-worker process pool config; only
+    ``serial_batch_limit`` differs, so the QPS ratio isolates the
+    per-batch pool dispatch cost the serial path removes.  The parity
+    cell re-answers one batch on both engines and must be byte-identical.
+    """
+    cell = {"batch_size": SMALL_BATCH, "n_shards": SHARDS[-1]}
+    parallel = ParallelConfig(n_jobs=JOBS[-1], backend="process")
+    reference = None
+    identical = True
+    for label, limit in (
+        ("serial", DEFAULT_SERIAL_BATCH_LIMIT),
+        ("fanout", None),
+    ):
+        engine = ShardedQueryEngine.from_bundle(
+            bundle, parallel=parallel, serial_batch_limit=limit
+        )
+        batches = _batches(rows_b, SMALL_BATCH, n_calls)
+        engine.query_batch(batches[0])  # warm up (pool startup, page cache)
+        total_queries = 0
+        started = time.perf_counter()
+        for batch in batches:
+            engine.query_batch(batch)
+            total_queries += len(batch)
+        elapsed = time.perf_counter() - started
+        cell[f"{label}_qps"] = total_queries / elapsed if elapsed > 0 else float("inf")
+        arrays = _result_arrays(engine, list(rows_b[:SMALL_BATCH]))
+        if reference is None:
+            reference = arrays
+        else:
+            identical = _identical(reference, arrays)
+        engine.close()
+    cell["serial_vs_fanout_speedup"] = (
+        cell["serial_qps"] / cell["fanout_qps"]
+        if cell["fanout_qps"] > 0
+        else float("inf")
+    )
+    cell["n_calls"] = n_calls
+    return cell, {"sharded_small_batch": identical}
+
+
 def _measure_ingest_replay(tmp, rows_a, rows_b, encoder, n_ingest):
     """Durable ingest cost: WAL append, replay-on-open, and compaction."""
     base, extra = rows_a[:-n_ingest], rows_a[-n_ingest:]
@@ -331,6 +382,12 @@ def main(argv=None):
         )
         identical.update(sharded_identical)
 
+        small_batch_calls = 4 if args.tiny else 12
+        small_batch_cell, small_batch_identical = _measure_sharded_small_batch(
+            f"{tmp}/sharded{SHARDS[-1]}", rows_b, small_batch_calls
+        )
+        identical.update(small_batch_identical)
+
         n_ingest = max(10, n // 100)
         ingest_cell, ingest_identical = _measure_ingest_replay(
             tmp, rows_a, rows_b, encoder, n_ingest
@@ -359,6 +416,7 @@ def main(argv=None):
         "batch_1024_vs_1_qps_speedup": batch_speedup,
         "topk_prefilter": topk_prefilter,
         "sharded": sharded_cells,
+        "sharded_small_batch": small_batch_cell,
         "ingest_replay": ingest_cell,
         "results_identical": identical,
         "gates": {
@@ -405,6 +463,12 @@ def main(argv=None):
         format_table(
             ["n_shards", "QPS", "fanout_ms/batch", "merge_ms/batch"], shard_rows
         )
+    )
+    print(
+        f"sharded small batch (batch {SMALL_BATCH}, {SHARDS[-1]} shards, "
+        f"{JOBS[-1]} jobs): serial {small_batch_cell['serial_qps']:.0f} QPS vs "
+        f"fan-out {small_batch_cell['fanout_qps']:.0f} QPS "
+        f"({small_batch_cell['serial_vs_fanout_speedup']:.1f}x)"
     )
     print(
         f"ingest {ingest_cell['n_ingested']} records: "

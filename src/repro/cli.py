@@ -14,6 +14,7 @@ The paper's evaluation workflow as shell commands::
     repro index bench idx b.csv --n-jobs 4
     repro index ingest idx more.csv
     repro index compact idx
+    repro serve idx --port 8765 --max-batch 256 --max-wait-us 2000
     repro lint src/ --format json
 
 Every command takes ``--seed`` and is fully reproducible; ``repro lint``
@@ -210,6 +211,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fold a sharded bundle's ingest log into new shard snapshots",
     )
     compact.add_argument("bundle", help="sharded bundle directory")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a bundle (or CSV) over HTTP with adaptive micro-batching",
+    )
+    serve.add_argument(
+        "source",
+        help="snapshot/sharded bundle directory, or a CSV to index in memory",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 binds an ephemeral port")
+    serve.add_argument(
+        "--max-batch", type=int, default=256, help="flush when this many requests queue"
+    )
+    serve.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        metavar="US",
+        help="adaptive flush-window ceiling in microseconds (default 2000)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request queueing deadline (default: none)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4096,
+        help="bounded admission queue; beyond it requests get 503 + Retry-After",
+    )
+    serve.add_argument("--n-jobs", type=int, default=1)
+    serve.add_argument(
+        "--threshold", type=int, help="matching threshold (required for CSV input)"
+    )
+    serve.add_argument("--k", type=int, default=30, help="CSV input: sampled bits per group")
+    serve.add_argument("--delta", type=float, default=0.1)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="CSV input: serve through an in-memory N-shard engine",
+    )
+    serve.add_argument(
+        "--limit-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after answering N requests (deterministic runs, tests)",
+    )
+    _add_seed(serve)
 
     lint = sub.add_parser(
         "lint",
@@ -432,17 +488,14 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
 def _serving_engine(args: argparse.Namespace):
     """The engine matching the bundle's kind (single-shard or sharded)."""
-    from repro.core.shards import is_sharded_bundle
     from repro.perf import ParallelConfig
-    from repro.serve import QueryEngine, ShardedQueryEngine
+    from repro.serve import open_serving_engine
 
-    parallel = ParallelConfig(n_jobs=args.n_jobs)
-    verify = _verify_from_args(args)
-    if is_sharded_bundle(args.bundle):
-        return ShardedQueryEngine.from_bundle(
-            args.bundle, parallel=parallel, verify=verify
-        )
-    return QueryEngine.from_snapshot(args.bundle, parallel=parallel, verify=verify)
+    return open_serving_engine(
+        args.bundle,
+        parallel=ParallelConfig(n_jobs=args.n_jobs),
+        verify=_verify_from_args(args),
+    )
 
 
 def _cmd_index_query(args: argparse.Namespace) -> int:
@@ -556,6 +609,106 @@ def _cmd_index_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.perf import ParallelConfig
+    from repro.serve import (
+        AsyncQueryServer,
+        BatcherConfig,
+        QueryEngine,
+        ShardedQueryEngine,
+    )
+    from repro.serve.asyncserve import serve_http
+
+    config = BatcherConfig(
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        deadline_ms=args.deadline_ms,
+        queue_depth=args.queue_depth,
+    )
+    parallel = ParallelConfig(n_jobs=args.n_jobs)
+    if Path(args.source).is_dir():
+        server = AsyncQueryServer.from_bundle(
+            args.source, config=config, parallel=parallel
+        )
+    else:
+        if args.threshold is None:
+            raise SystemExit(
+                f"{args.source} is not a bundle directory; serving a CSV "
+                "needs --threshold"
+            )
+        from repro.protocol import value_rows
+
+        dataset = read_dataset(args.source)
+        linker = CompactHammingLinker.record_level(
+            threshold=args.threshold, k=args.k, delta=args.delta, seed=args.seed
+        )
+        encoder = linker.calibrate(dataset)
+        rows = list(value_rows(dataset))
+        if args.shards >= 1:
+            engine: QueryEngine | ShardedQueryEngine = ShardedQueryEngine.build(
+                rows,
+                encoder,
+                n_shards=args.shards,
+                threshold=args.threshold,
+                k=args.k,
+                delta=args.delta,
+                seed=args.seed,
+                parallel=parallel,
+            )
+        else:
+            engine = QueryEngine.build(
+                rows,
+                encoder,
+                threshold=args.threshold,
+                k=args.k,
+                delta=args.delta,
+                seed=args.seed,
+                parallel=parallel,
+            )
+        server = AsyncQueryServer(engine, config=config)
+
+    async def run() -> dict:
+        frontend = await serve_http(
+            server,
+            host=args.host,
+            port=args.port,
+            limit_requests=args.limit_requests,
+        )
+        emit(
+            f"serving {server.engine.n_indexed} records on "
+            f"http://{frontend.host}:{frontend.port} "
+            f"(max-batch {config.max_batch}, max-wait {config.max_wait_us:.0f} us, "
+            f"queue depth {config.queue_depth}) — "
+            "GET /healthz /stats, POST /query /swap"
+        )
+        try:
+            await frontend.serve_until_done()
+        finally:
+            stats = server.stats()
+            await frontend.stop()
+        return stats
+
+    try:
+        stats = asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+    counters = stats["counters"]
+    latency = stats["latency_s"]
+    emit(
+        f"served {counters.get('n_completed', 0):.0f} requests in "
+        f"{counters.get('n_batches', 0):.0f} batches "
+        f"(mean size {stats['batch_size']['mean']:.1f}); "
+        f"latency p50 {latency['p50'] * 1e3:.2f} ms, "
+        f"p95 {latency['p95'] * 1e3:.2f} ms, p99 {latency['p99'] * 1e3:.2f} ms; "
+        f"rejected {counters.get('n_rejected', 0):.0f}, "
+        f"deadline misses {counters.get('n_deadline_missed', 0):.0f}"
+    )
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     handler = {
         "build": _cmd_index_build,
@@ -573,6 +726,7 @@ _COMMANDS = {
     "sizing": _cmd_sizing,
     "link": _cmd_link,
     "index": _cmd_index,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -14,6 +14,7 @@ beside the numeric stack: it imports nothing from the layers it serves,
 so ``core`` and ``hamming`` may depend on it freely.
 """
 
+from repro.perf.metrics import LogHistogram
 from repro.perf.parallel import ParallelConfig, parallel_map, resolve_n_jobs
 
-__all__ = ["ParallelConfig", "parallel_map", "resolve_n_jobs"]
+__all__ = ["LogHistogram", "ParallelConfig", "parallel_map", "resolve_n_jobs"]

@@ -1,0 +1,160 @@
+"""Fixed log-scale histograms for latency and size distributions.
+
+Serving performance is a *distribution* story: the sums the engines
+already accumulate (``time_query_s`` and friends) recover the mean, but
+tail latency — the p99 a serving SLO is written against — needs the
+shape.  :class:`LogHistogram` records values into a fixed geometric
+bucket grid, so it is O(1) per observation, bounded in memory, mergeable
+across shards/processes, and its snapshot serialises into benchmark JSON
+from which any percentile is derivable offline.
+
+The grid is deterministic (no sampling, no reservoir randomness):
+bucket ``i`` covers ``(bound[i-1], bound[i]]`` with bounds spaced
+``buckets_per_decade`` per power of ten between ``lo`` and ``hi``, plus
+an underflow bucket at or below ``lo`` and an overflow bucket above
+``hi``.  Percentiles are conservative: they report the upper bound of
+the bucket containing the requested rank, so a reported p99 is never
+below the true p99 by more than one bucket's resolution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import ceil
+
+
+class LogHistogram:
+    """Log-scale bucket histogram with deterministic percentiles.
+
+    Parameters
+    ----------
+    lo:
+        Upper bound of the underflow bucket — values at or below ``lo``
+        land there.  Must be positive.
+    hi:
+        Lower bound of the overflow bucket — values above ``hi`` land
+        there.
+    buckets_per_decade:
+        Grid resolution: bounds per power of ten.  The default 8 gives
+        ~33% relative bucket width, ample for percentile reporting.
+
+    Examples
+    --------
+    >>> hist = LogHistogram.latency()
+    >>> for ms in (1, 1, 2, 50):
+    ...     hist.record(ms / 1e3)
+    >>> hist.count
+    4
+    >>> hist.percentile(0.5) <= hist.percentile(0.99)
+    True
+    """
+
+    def __init__(
+        self, lo: float = 1e-6, hi: float = 1e3, buckets_per_decade: int = 8
+    ):
+        if lo <= 0 or hi <= lo:
+            raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets_per_decade = int(buckets_per_decade)
+        bounds: list[float] = []
+        step = 10.0 ** (1.0 / buckets_per_decade)
+        edge = self.lo
+        while edge < self.hi:
+            edge *= step
+            bounds.append(min(edge, self.hi))
+        #: Upper bucket edges between the underflow and overflow buckets.
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        #: Per-bucket counts: ``[underflow, *bounds buckets, overflow]``.
+        self.counts: list[int] = [0] * (len(bounds) + 2)
+        self.count = 0
+        self.total = 0.0
+
+    @classmethod
+    def latency(cls) -> "LogHistogram":
+        """The latency grid: 1 µs .. 1000 s in seconds."""
+        return cls(lo=1e-6, hi=1e3, buckets_per_decade=8)
+
+    @classmethod
+    def sizes(cls) -> "LogHistogram":
+        """A count grid (batch sizes, queue depths): 1 .. 10^7."""
+        return cls(lo=1.0, hi=1e7, buckets_per_decade=8)
+
+    def record(self, value: float) -> None:
+        """Record one observation (O(log buckets))."""
+        if value <= self.lo:
+            bucket = 0
+        elif value > self.hi:
+            bucket = len(self.counts) - 1
+        else:
+            bucket = 1 + bisect_left(self.bounds, value)
+        self.counts[bucket] += 1
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram recorded on the same grid into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket grids")
+        for bucket, n in enumerate(other.counts):
+            self.counts[bucket] += n
+        self.count += other.count
+        self.total += other.total
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the recorded values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile rank.
+
+        ``q`` is a fraction in ``[0, 1]``.  Returns 0.0 when empty; the
+        underflow bucket reports ``lo`` and the overflow bucket ``hi``
+        (the grid cannot resolve beyond its edges).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, min(self.count, ceil(q * self.count)))
+        seen = 0
+        for bucket, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                if bucket == 0:
+                    return self.lo
+                if bucket == len(self.counts) - 1:
+                    return self.hi
+                return self.bounds[bucket - 1]
+        return self.hi
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serialisable state: grid, sparse counts, count/sum.
+
+        Buckets are keyed by their upper edge (underflow as ``lo``,
+        overflow as ``inf``) and zero buckets are omitted, so snapshots
+        stay small; any percentile is derivable offline from the counts.
+        """
+        edges: dict[str, int] = {}
+        for bucket, n in enumerate(self.counts):
+            if not n:
+                continue
+            if bucket == 0:
+                edges[repr(self.lo)] = n
+            elif bucket == len(self.counts) - 1:
+                edges["inf"] = n
+            else:
+                edges[repr(self.bounds[bucket - 1])] = n
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_decade": self.buckets_per_decade,
+            "count": self.count,
+            "sum": self.total,
+            "buckets": edges,
+        }

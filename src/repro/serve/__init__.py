@@ -2,10 +2,22 @@
 
 Single-bundle serving lives in :mod:`repro.serve.engine`; scatter-gather
 serving over sharded bundles (with durable ingest and compaction) in
-:mod:`repro.serve.sharded`.  See ``docs/serving.md``.
+:mod:`repro.serve.sharded`; the async front-end that coalesces
+single-query requests into micro-batches in
+:mod:`repro.serve.asyncserve`.  :func:`open_serving_engine` dispatches a
+bundle path to the engine matching its kind.  See ``docs/serving.md``.
 """
 
+from repro.serve.asyncserve import AsyncQueryServer, BatcherConfig
+from repro.serve.asyncserve.server import open_serving_engine
 from repro.serve.engine import QueryEngine, QueryResult
 from repro.serve.sharded import ShardedQueryEngine
 
-__all__ = ["QueryEngine", "QueryResult", "ShardedQueryEngine"]
+__all__ = [
+    "AsyncQueryServer",
+    "BatcherConfig",
+    "QueryEngine",
+    "QueryResult",
+    "ShardedQueryEngine",
+    "open_serving_engine",
+]

@@ -1,0 +1,322 @@
+"""Engine lifecycle behind the micro-batcher (:class:`AsyncQueryServer`).
+
+The server binds a :class:`MicroBatcher` to a serving engine
+(:class:`~repro.serve.engine.QueryEngine` or
+:class:`~repro.serve.sharded.ShardedQueryEngine`) and owns everything the
+batcher deliberately does not know about:
+
+* **Off-loop execution.**  ``query_batch`` is CPU-bound (NumPy kernels
+  release the GIL, but the call itself blocks); every flushed batch runs
+  in a single-thread executor, so the event loop keeps admitting and
+  coalescing requests while a batch executes, and engine calls stay
+  serialised (the engines' ``stats`` bookkeeping is not thread-safe).
+* **Zero-downtime snapshot swap.**  :meth:`swap` opens the new bundle
+  off-loop, atomically redirects new requests to it, waits for the old
+  generation's in-flight batches to drain, then closes the old engine.
+  No request is dropped, and no request mixes versions: each batch
+  captures its engine generation at dispatch.
+* **Observability.**  :meth:`stats` flattens the batcher's counters and
+  histograms (latency p50/p95/p99, QPS, batch-size distribution,
+  queue depth, deadline misses) with the engine's own counters into one
+  JSON-serialisable dict, served by the CLI and the HTTP ``/stats``
+  route.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from pathlib import Path
+from typing import Protocol
+
+from dataclasses import dataclass
+
+from repro.hamming.sketch import VerifyConfig
+from repro.perf import LogHistogram, ParallelConfig
+from repro.serve.asyncserve.batcher import BatcherConfig, Matches, MicroBatcher, Row
+from repro.serve.engine import QueryEngine, QueryResult
+from repro.serve.sharded import ShardedQueryEngine
+
+
+@dataclass(frozen=True)
+class _OpenOptions:
+    """How :meth:`AsyncQueryServer.swap` re-opens bundles (same as boot)."""
+
+    parallel: ParallelConfig | None = None
+    mmap_mode: str | None = "r"
+    verify: VerifyConfig | None = None
+
+
+class ServingEngine(Protocol):
+    """What the server needs from an engine (both engines satisfy it)."""
+
+    stats: dict[str, float]
+    batch_time_hist: LogHistogram
+
+    @property
+    def n_indexed(self) -> int:
+        """Number of reference records served."""
+        ...
+
+    @property
+    def threshold(self) -> int:
+        """The bundle's recorded matching threshold."""
+        ...
+
+    def query_batch(
+        self,
+        rows: "list[Row]",
+        threshold: int | None = None,
+        top_k: int | None = None,
+    ) -> QueryResult:
+        """Batched threshold / top-k matching."""
+        ...
+
+
+def open_serving_engine(
+    bundle: str | Path,
+    parallel: ParallelConfig | None = None,
+    mmap_mode: str | None = "r",
+    verify: VerifyConfig | None = None,
+) -> QueryEngine | ShardedQueryEngine:
+    """Open whichever engine matches the bundle's kind.
+
+    A sharded root manifest gets a scatter-gather
+    :class:`~repro.serve.sharded.ShardedQueryEngine`; anything else is
+    served as a single snapshot bundle.  Both arrive memory-mapped.
+    """
+    from repro.core.shards import is_sharded_bundle
+
+    if is_sharded_bundle(bundle):
+        return ShardedQueryEngine.from_bundle(
+            bundle, parallel=parallel, mmap_mode=mmap_mode, verify=verify
+        )
+    return QueryEngine.from_snapshot(
+        bundle, parallel=parallel, mmap_mode=mmap_mode, verify=verify
+    )
+
+
+def _close_engine(engine: object) -> None:
+    """Release an engine's resources if it holds any (idempotent).
+
+    The sharded engine owns WAL writers and mmaps and exposes
+    ``close()``; the single-bundle engine holds only read-only mmaps
+    reclaimed by the garbage collector and has no ``close``.
+    """
+    close = getattr(engine, "close", None)
+    if callable(close):
+        close()
+
+
+class _EngineSlot:
+    """One engine generation with its in-flight batch accounting.
+
+    ``idle`` is set exactly when ``inflight == 0``; :meth:`swap` waits on
+    the *retired* slot's event before closing its engine, so in-flight
+    batches always complete against the bundle they started on.
+    """
+
+    __slots__ = ("engine", "generation", "inflight", "idle")
+
+    def __init__(self, engine: ServingEngine, generation: int):
+        self.engine = engine
+        self.generation = generation
+        self.inflight = 0
+        self.idle = asyncio.Event()
+        self.idle.set()
+
+    def acquire(self) -> None:
+        self.inflight += 1
+        self.idle.clear()
+
+    def release(self) -> None:
+        self.inflight -= 1
+        if self.inflight == 0:
+            self.idle.set()
+
+
+class AsyncQueryServer:
+    """Micro-batched async serving over one engine generation at a time.
+
+    Construct with an engine (``AsyncQueryServer(engine)``) or from a
+    bundle path (:meth:`from_bundle`); either way the server owns the
+    engine and closes it.  Use as an async context manager, or call
+    :meth:`close` explicitly.  All methods must be called from one event
+    loop.
+
+    The in-process API is :meth:`query` (single row in, matches out) —
+    the HTTP layer in :mod:`repro.serve.asyncserve.http` is a thin
+    wrapper over it, so embedders and tests never need a socket.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        config: BatcherConfig | None = None,
+        open_options: _OpenOptions | None = None,
+    ):
+        self._slot = _EngineSlot(engine, generation=0)
+        self._open = open_options or _OpenOptions()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="asyncserve"
+        )
+        self._batcher = MicroBatcher(self._execute, config)
+        self._started = time.monotonic()
+        self._n_swaps = 0
+        self._closed = False
+
+    @classmethod
+    def from_bundle(
+        cls,
+        bundle: str | Path,
+        config: BatcherConfig | None = None,
+        parallel: ParallelConfig | None = None,
+        mmap_mode: str | None = "r",
+        verify: VerifyConfig | None = None,
+    ) -> "AsyncQueryServer":
+        """Serve a bundle path; :meth:`swap` reuses the same open options."""
+        engine = open_serving_engine(
+            bundle, parallel=parallel, mmap_mode=mmap_mode, verify=verify
+        )
+        return cls(
+            engine,
+            config=config,
+            open_options=_OpenOptions(
+                parallel=parallel, mmap_mode=mmap_mode, verify=verify
+            ),
+        )
+
+    # -- serving -----------------------------------------------------------------
+
+    @property
+    def engine(self) -> ServingEngine:
+        """The engine currently answering new requests."""
+        return self._slot.engine
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every completed :meth:`swap` (starts at 0)."""
+        return self._slot.generation
+
+    async def query(
+        self,
+        row: Row,
+        threshold: int | None = None,
+        top_k: int | None = None,
+        deadline_s: float | None = None,
+    ) -> Matches:
+        """Answer one query through the micro-batcher.
+
+        Coalesced with concurrent callers but byte-identical to
+        ``engine.query_batch([row], threshold, top_k)``.  Raises
+        :class:`~repro.serve.asyncserve.batcher.QueueFullError` under
+        backpressure and
+        :class:`~repro.serve.asyncserve.batcher.DeadlineExceededError`
+        when the request expires while queued.
+        """
+        return await self._batcher.submit(
+            row, threshold=threshold, top_k=top_k, deadline_s=deadline_s
+        )
+
+    async def _execute(
+        self, rows: "list[Row]", threshold: int | None, top_k: int | None
+    ) -> QueryResult:
+        """Run one coalesced batch off-loop against the current generation.
+
+        The slot is captured *synchronously* (before any await), so a
+        concurrent :meth:`swap` cannot retire this batch's engine until
+        the batch releases it.
+        """
+        slot = self._slot
+        slot.acquire()
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                partial(slot.engine.query_batch, rows, threshold, top_k),
+            )
+        finally:
+            slot.release()
+
+    # -- snapshot swap -----------------------------------------------------------
+
+    async def swap(self, bundle: str | Path) -> int:
+        """Swap to a new snapshot bundle with zero downtime.
+
+        Opens ``bundle`` in a side thread (serving continues), atomically
+        routes new requests to the new engine, then drains and closes the
+        retired one.  In-flight requests complete on the bundle they were
+        dispatched against — no request is dropped or answered by a mix
+        of versions.  Returns the new generation number.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        engine = await asyncio.to_thread(
+            partial(
+                open_serving_engine,
+                bundle,
+                parallel=self._open.parallel,
+                mmap_mode=self._open.mmap_mode,
+                verify=self._open.verify,
+            )
+        )
+        retired = self._slot
+        self._slot = _EngineSlot(engine, retired.generation + 1)
+        self._n_swaps += 1
+        await retired.idle.wait()
+        _close_engine(retired.engine)
+        return self._slot.generation
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """One JSON-serialisable view of server, batcher and engine state."""
+        batcher = self._batcher
+        latency = batcher.request_latency_hist
+        sizes = batcher.batch_size_hist
+        uptime = time.monotonic() - self._started
+        completed = batcher.stats.get("n_completed", 0.0)
+        return {
+            "uptime_s": uptime,
+            "generation": self._slot.generation,
+            "n_swaps": self._n_swaps,
+            "n_indexed": self._slot.engine.n_indexed,
+            "queue_depth": batcher.queue_depth,
+            "inflight_batches": self._slot.inflight,
+            "qps": completed / uptime if uptime > 0 else 0.0,
+            "counters": dict(batcher.stats),
+            "latency_s": {
+                "mean": latency.mean,
+                "p50": latency.percentile(0.50),
+                "p95": latency.percentile(0.95),
+                "p99": latency.percentile(0.99),
+            },
+            "batch_size": {
+                "mean": sizes.mean,
+                "p50": sizes.percentile(0.50),
+                "p99": sizes.percentile(0.99),
+            },
+            "latency_hist": latency.snapshot(),
+            "batch_size_hist": sizes.snapshot(),
+            "engine_stats": dict(self._slot.engine.stats),
+            "engine_batch_time_hist": self._slot.engine.batch_time_hist.snapshot(),
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Drain the batcher, close the engine, stop the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        await self._batcher.close()
+        await self._slot.idle.wait()
+        _close_engine(self._slot.engine)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncQueryServer":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()

@@ -35,7 +35,7 @@ from repro.core.persist import IndexSnapshot, load_index_snapshot, save_index_sn
 from repro.hamming.lsh import HammingLSH
 from repro.hamming.query import batch_query, group_matches
 from repro.hamming.sketch import VerifyConfig, reject_rate
-from repro.perf import ParallelConfig, parallel_map
+from repro.perf import LogHistogram, ParallelConfig, parallel_map
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -155,6 +155,11 @@ class QueryEngine:
         #: (``pairs_prefiltered``, ``pairs_rejected_t<i>``,
         #: ``pairs_exact``, ``prefilter_reject_rate``).
         self.stats: dict[str, float] = {}
+        #: Per-batch wall-clock distribution (whole ``query_batch`` call,
+        #: embed + fan-out + merge).  The summed counters in :attr:`stats`
+        #: recover the mean; this histogram makes p50/p95/p99 derivable
+        #: offline from its :meth:`~repro.perf.LogHistogram.snapshot`.
+        self.batch_time_hist = LogHistogram.latency()
 
     # -- constructors ------------------------------------------------------------
 
@@ -265,6 +270,7 @@ class QueryEngine:
         work = [tuple(row) for row in rows]
         if not work:
             return QueryResult(_EMPTY, _EMPTY, _EMPTY, 0)
+        call_started = time.perf_counter()
         shards = self.parallel.shard_ranges(len(work))
         if self.parallel.effective_jobs <= 1 or len(shards) <= 1:
             _init_query_worker(self.snapshot, self._mmap_mode)
@@ -272,7 +278,7 @@ class QueryEngine:
                 (work, effective, top_k, self.verify)
             )
             self._merge_stats(counters)
-            self._account_batch(len(work))
+            self._account_batch(len(work), time.perf_counter() - call_started)
             return QueryResult(queries, ids, distances, len(work))
         source: str | IndexSnapshot = self.snapshot
         if self.parallel.backend == "process" and self.snapshot.path is not None:
@@ -292,7 +298,7 @@ class QueryEngine:
         distances = np.concatenate([part[2] for part in parts])
         for part in parts:
             self._merge_stats(part[3])
-        self._account_batch(len(work))
+        self._account_batch(len(work), time.perf_counter() - call_started)
         return QueryResult(queries, ids, distances, len(work))
 
     def _merge_stats(self, counters: dict[str, float]) -> None:
@@ -312,10 +318,11 @@ class QueryEngine:
         if "pairs_prefiltered" in self.stats:
             self.stats["prefilter_reject_rate"] = reject_rate(self.stats)
 
-    def _account_batch(self, n_queries: int) -> None:
-        """Record one served batch in the engine stats."""
+    def _account_batch(self, n_queries: int, elapsed_s: float) -> None:
+        """Record one served batch in the engine stats and histogram."""
         self.stats["n_batches"] = self.stats.get("n_batches", 0.0) + 1.0
         self.stats["n_queries"] = self.stats.get("n_queries", 0.0) + float(n_queries)
+        self.batch_time_hist.record(elapsed_s)
 
     @property
     def threshold(self) -> int:

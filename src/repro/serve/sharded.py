@@ -40,10 +40,18 @@ from repro.core.shards import ShardedIndex
 from repro.hamming.bitmatrix import BitMatrix
 from repro.hamming.query import batch_query
 from repro.hamming.sketch import VerifyConfig, reject_rate
-from repro.perf import ParallelConfig, parallel_map
+from repro.perf import LogHistogram, ParallelConfig, parallel_map
 from repro.serve.engine import QueryResult
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+#: Default ceiling on ``len(batch) * n_shards`` below which the fan-out
+#: runs serially in-process even when a worker pool is configured: for
+#: small batches the per-task dispatch (and, for the process backend,
+#: pool startup) costs more than scanning every shard inline.  The
+#: serial path is byte-identical to the pooled fan-out — same per-shard
+#: kernel, same deterministic merge.
+DEFAULT_SERIAL_BATCH_LIMIT = 1024
 
 #: Per-process worker state, set exactly once by :func:`_init_sharded_worker`.
 _SHARD_STATE: dict[str, Any] = {}
@@ -145,16 +153,27 @@ class ShardedQueryEngine:
         parallel: ParallelConfig | None = None,
         mmap_mode: str | None = "r",
         verify: VerifyConfig | None = None,
+        serial_batch_limit: int | None = DEFAULT_SERIAL_BATCH_LIMIT,
     ):
         self.index = index
         self.parallel = parallel or ParallelConfig()
         self._mmap_mode = mmap_mode
         self.verify = verify
+        #: Scan shards in-process when ``len(batch) * n_shards`` is at or
+        #: under this limit, regardless of ``parallel`` — small batches
+        #: lose more to pool dispatch than they gain from parallelism
+        #: (see BENCH_serving.json's ``sharded_small_batch`` cell).
+        #: ``None`` disables the serial path (always fan out).
+        self.serial_batch_limit = serial_batch_limit
         #: Engine-level counters summed over every served batch: prefilter
         #: tiers when enabled, plus ``time_embed_s`` / ``time_fanout_s`` /
-        #: ``time_merge_s`` wall-clock accumulators, ``n_batches`` and
-        #: ``n_queries``.
+        #: ``time_merge_s`` wall-clock accumulators, ``n_batches``,
+        #: ``n_queries`` and ``n_serial_batches`` (batches answered by the
+        #: small-batch in-process path).
         self.stats: dict[str, float] = {}
+        #: Per-batch wall-clock distribution (whole ``query_batch`` call);
+        #: p50/p95/p99 derivable offline from its snapshot.
+        self.batch_time_hist = LogHistogram.latency()
         #: Per-shard counters (``time_query_s``, candidate-generation and
         #: prefilter tiers), summed over every served batch.
         self.shard_stats: list[dict[str, float]] = [
@@ -177,6 +196,7 @@ class ShardedQueryEngine:
         max_chunk_pairs: int | None = None,
         parallel: ParallelConfig | None = None,
         verify: VerifyConfig | None = None,
+        serial_batch_limit: int | None = DEFAULT_SERIAL_BATCH_LIMIT,
     ) -> "ShardedQueryEngine":
         """Shard and index ``rows`` in memory under a calibrated encoder."""
         index = ShardedIndex.build(
@@ -190,7 +210,12 @@ class ShardedQueryEngine:
             seed=seed,
             max_chunk_pairs=max_chunk_pairs,
         )
-        return cls(index, parallel=parallel, verify=verify)
+        return cls(
+            index,
+            parallel=parallel,
+            verify=verify,
+            serial_batch_limit=serial_batch_limit,
+        )
 
     @classmethod
     def from_bundle(
@@ -199,10 +224,17 @@ class ShardedQueryEngine:
         parallel: ParallelConfig | None = None,
         mmap_mode: str | None = "r",
         verify: VerifyConfig | None = None,
+        serial_batch_limit: int | None = DEFAULT_SERIAL_BATCH_LIMIT,
     ) -> "ShardedQueryEngine":
         """Serve a persisted sharded bundle (mmap payloads, replay WAL)."""
         index = ShardedIndex.open(path, mmap_mode=mmap_mode)
-        return cls(index, parallel=parallel, mmap_mode=mmap_mode, verify=verify)
+        return cls(
+            index,
+            parallel=parallel,
+            mmap_mode=mmap_mode,
+            verify=verify,
+            serial_batch_limit=serial_batch_limit,
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -256,7 +288,9 @@ class ShardedQueryEngine:
         """Match a batch of query records against every shard and merge.
 
         The batch is embedded once; the packed query words fan out to one
-        task per shard (inline when ``parallel.n_jobs <= 1``, else via
+        task per shard (inline when ``parallel.n_jobs <= 1`` or when
+        ``len(batch) * n_shards`` is at or under
+        :attr:`serial_batch_limit`, else via
         :func:`repro.perf.parallel_map` with the bundle attached per
         worker by the initializer).  The merge re-establishes the
         single-shard result order — see the module docstring for why
@@ -274,9 +308,18 @@ class ShardedQueryEngine:
             (shard, matrix_b.words, matrix_b.n_bits, effective, top_k, self.verify)
             for shard in range(self.n_shards)
         ]
-        if self.parallel.effective_jobs <= 1 or self.n_shards <= 1:
+        serial = (
+            self.parallel.effective_jobs <= 1
+            or self.n_shards <= 1
+            or (
+                self.serial_batch_limit is not None
+                and len(work) * self.n_shards <= self.serial_batch_limit
+            )
+        )
+        if serial:
             _init_sharded_worker(self.index, self._mmap_mode)
             parts = [_query_one_shard(task) for task in tasks]
+            self._bump("n_serial_batches", 1.0)
         else:
             source: str | ShardedIndex = self.index
             if self.parallel.backend == "process" and self.index.path is not None:
@@ -298,6 +341,7 @@ class ShardedQueryEngine:
         self._bump("time_merge_s", merged - fanned)
         self._bump("n_batches", 1.0)
         self._bump("n_queries", float(len(work)))
+        self.batch_time_hist.record(merged - started)
         return QueryResult(queries, gids, distances, len(work))
 
     # -- stats -------------------------------------------------------------------

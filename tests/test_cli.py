@@ -140,3 +140,92 @@ class TestLink:
                     "--k", "30", "-o", str(tmp_path / "m.csv"),
                 ]
             )
+
+
+class TestServe:
+    @staticmethod
+    def _free_port():
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    @staticmethod
+    def _get(port, path):
+        import json
+        import urllib.request
+
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=5) as r:
+            return json.loads(r.read())
+
+    @staticmethod
+    def _post(port, path, payload):
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=5) as r:
+            return json.loads(r.read())
+
+    def test_serve_bundle_answers_and_exits_at_limit(
+        self, voters, tmp_path, capsys
+    ):
+        import threading
+        import time
+
+        bundle = tmp_path / "idx"
+        assert (
+            main(
+                [
+                    "index", "build", str(voters),
+                    "--threshold", "4", "--seed", "7", "-o", str(bundle),
+                ]
+            )
+            == 0
+        )
+        row = list(map(str, next(iter(read_dataset(voters).value_rows()))))
+
+        port = self._free_port()
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve", str(bundle),
+                        "--port", str(port), "--limit-requests", "3",
+                    ]
+                )
+            )
+        )
+        thread.start()
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    health = self._get(port, "/healthz")
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                raise AssertionError("server never came up")
+            assert health["ok"] is True and health["n_indexed"] == 300
+            answer = self._post(port, "/query", {"row": row})
+            assert [0, 0] in answer["matches"]  # the record matches itself
+            stats = self._get(port, "/stats")  # third request: hits the limit
+            assert stats["counters"]["n_completed"] == 1.0
+        finally:
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert codes == [0]
+        out = capsys.readouterr().out
+        assert "serving 300 records" in out
+        assert "served 1 requests" in out
+
+    def test_serve_csv_needs_threshold(self, voters):
+        with pytest.raises(SystemExit, match="--threshold"):
+            main(["serve", str(voters), "--port", "0"])

@@ -5,6 +5,8 @@ engine must never break: identical output for every ``n_jobs`` setting and
 for every ``max_chunk_pairs`` budget.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -21,7 +23,7 @@ from repro.data import NCVRGenerator, build_linkage_problem, scheme_pl
 from repro.data.generators import EXPERIMENT_SCHEME
 from repro.hamming.bitmatrix import BitMatrix, scatter_bits
 from repro.hamming.lsh import HammingLSH
-from repro.perf import ParallelConfig, parallel_map, resolve_n_jobs
+from repro.perf import LogHistogram, ParallelConfig, parallel_map, resolve_n_jobs
 
 
 def random_matrix(seed, n_rows, n_bits, density=0.3):
@@ -286,3 +288,87 @@ class TestStreamingBatchedQuery:
             assert streaming.vector(i) == encoder.encode(values)
         with pytest.raises(IndexError):
             streaming.vector(len(rows))
+
+
+class TestLogHistogram:
+    def test_count_mean_and_sum_are_exact(self):
+        hist = LogHistogram.latency()
+        values = [0.001, 0.002, 0.004, 0.050]
+        for value in values:
+            hist.record(value)
+        assert hist.count == len(values)
+        assert hist.total == pytest.approx(sum(values))
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+
+    def test_percentile_is_conservative_within_one_bucket(self):
+        """The reported quantile is the bucket's upper edge: at or above
+        the true value, and within one geometric bucket width of it."""
+        hist = LogHistogram.latency()
+        width = 10.0 ** (1.0 / hist.buckets_per_decade)
+        for value in (0.001, 0.002, 0.003, 0.010, 0.200):
+            hist.record(value)
+            reported = hist.percentile(1.0)
+            assert value <= reported <= value * width
+
+    def test_percentiles_are_monotonic(self):
+        rng = np.random.default_rng(3)
+        hist = LogHistogram.latency()
+        for value in rng.lognormal(mean=-6.0, sigma=1.5, size=500):
+            hist.record(float(value))
+        quantiles = [hist.percentile(q) for q in (0.0, 0.25, 0.5, 0.95, 0.99, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    def test_underflow_and_overflow_clamp_to_grid_edges(self):
+        hist = LogHistogram(lo=1e-3, hi=1e2)
+        hist.record(1e-9)
+        hist.record(1e9)
+        assert hist.percentile(0.25) == hist.lo
+        assert hist.percentile(1.0) == hist.hi
+        assert hist.count == 2
+
+    def test_merge_equals_recording_into_one(self):
+        left, right, both = (LogHistogram.sizes() for __ in range(3))
+        for value in (1, 4, 16, 64):
+            left.record(value)
+            both.record(value)
+        for value in (2, 256, 4096):
+            right.record(value)
+            both.record(value)
+        left.merge(right)
+        assert left.counts == both.counts
+        assert left.count == both.count
+        assert left.total == pytest.approx(both.total)
+        for q in (0.5, 0.95, 0.99):
+            assert left.percentile(q) == both.percentile(q)
+
+    def test_merge_rejects_different_grids(self):
+        with pytest.raises(ValueError):
+            LogHistogram.latency().merge(LogHistogram.sizes())
+
+    def test_snapshot_roundtrips_the_distribution(self):
+        hist = LogHistogram.sizes()
+        for value in (1, 1, 8, 8, 8, 500):
+            hist.record(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 6
+        assert snap["sum"] == pytest.approx(526.0)
+        assert sum(snap["buckets"].values()) == snap["count"]
+        assert all(n > 0 for n in snap["buckets"].values())  # sparse
+        json.dumps(snap)
+
+    def test_empty_histogram(self):
+        hist = LogHistogram.latency()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.99) == 0.0
+        assert hist.snapshot()["buckets"] == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogHistogram(lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(lo=1.0, hi=10.0, buckets_per_decade=0)
+        with pytest.raises(ValueError):
+            LogHistogram.latency().percentile(1.5)

@@ -522,6 +522,54 @@ class TestServingStats:
         assert all(s["time_query_s"] >= 0.0 for s in engine.shard_stats)
 
 
+class TestSerialSmallBatchPath:
+    """Satellite: small batches skip fan-out machinery but stay identical."""
+
+    def test_small_batch_takes_serial_path_with_identical_results(
+        self, reference, encoder, rows_a, rows_b
+    ):
+        parallel = ParallelConfig(n_jobs=2, backend="thread")
+        serial = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=3, threshold=4, k=30, seed=SEED,
+            parallel=parallel,
+        )
+        fanout = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=3, threshold=4, k=30, seed=SEED,
+            parallel=parallel, serial_batch_limit=None,
+        )
+        small = rows_b[:6]  # 6 * 3 shards = 18 tasks, far under the limit
+        _assert_identical(serial.query_batch(small), fanout.query_batch(small))
+        _assert_identical(reference.query_batch(small), serial.query_batch(small))
+        assert serial.stats["n_serial_batches"] == 2.0
+        assert "n_serial_batches" not in fanout.stats
+
+    def test_limit_decides_per_batch(self, encoder, rows_a, rows_b):
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=3, threshold=4, k=30, seed=SEED,
+            parallel=ParallelConfig(n_jobs=2, backend="thread"),
+            serial_batch_limit=8,
+        )
+        engine.query_batch(rows_b[:2])  # 2 * 3 = 6 <= 8: serial
+        assert engine.stats["n_serial_batches"] == 1.0
+        engine.query_batch(rows_b)  # 150 * 3 = 450 > 8: fans out
+        assert engine.stats["n_serial_batches"] == 1.0
+        assert engine.stats["n_batches"] == 2.0
+
+    def test_batch_time_histogram_records_every_batch(
+        self, encoder, rows_a, rows_b
+    ):
+        engine = ShardedQueryEngine.build(
+            rows_a, encoder, n_shards=2, threshold=4, k=30, seed=SEED
+        )
+        engine.query_batch(rows_b[:4])
+        engine.query_batch(rows_b)
+        assert engine.batch_time_hist.count == 2
+        assert engine.batch_time_hist.percentile(0.99) > 0.0
+        single = QueryEngine.build(rows_a, encoder, threshold=4, k=30, seed=SEED)
+        single.query_batch(rows_b[:4])
+        assert single.batch_time_hist.count == 1
+
+
 class TestShardedCLI:
     @pytest.fixture(scope="class")
     def csv_pair(self, tmp_path_factory):
